@@ -1,0 +1,17 @@
+# Render a figure-1..4-style surface/curve from `memguard dat --what ext2|tty`.
+# Usage: gnuplot -e "dat='plots/data/ext2-ssh-unprotected.dat'; mode='ext2'" plots/sweep.gp
+if (!exists("dat"))  dat='plots/data/ext2-ssh-unprotected.dat'
+if (!exists("mode")) mode='ext2'
+
+set terminal pngcairo size 900,400
+set output dat.'.png'
+if (mode eq 'ext2') {
+  set xlabel 'Total Connections'; set ylabel 'Total Directories'; set zlabel 'RSA Private Keys'
+  set dgrid3d 10,10; set hidden3d
+  splot dat using 1:2:3 with lines title 'keys found per run'
+} else {
+  set xlabel 'Total Connections'; set ylabel 'RSA Private Keys'
+  set y2label 'Success rate'; set y2range [0:1.05]; set y2tics
+  plot dat using 1:2 with linespoints title 'copies/run', \
+       dat using 1:3 axes x1y2 with linespoints title 'success rate'
+}

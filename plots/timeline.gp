@@ -1,0 +1,22 @@
+# Render a figure-5/6-style pair from `memguard dat --what timeline` output.
+# Usage: gnuplot -e "base='plots/data/timeline-ssh-unprotected'" plots/timeline.gp
+if (!exists("base")) base='plots/data/timeline-ssh-unprotected'
+
+set terminal pngcairo size 900,400
+set output base.'-counts.png'
+set xlabel 'Time Elapsed Since Start Of Simulation'
+set ylabel 'Number Of Private Key Matches In Memory'
+set style data histograms
+set style histogram rowstacked
+set style fill solid 0.7 border -1
+set key top left
+plot base.'-counts.dat' using 2:xtic(1) title 'allocated' lc rgb '#bbbbbb', \
+     ''                 using 3         title 'unallocated' lc rgb '#333333'
+
+set output base.'-locations.png'
+set xlabel 'Time Elapsed Since Start Of Simulation'
+set ylabel 'Physical Memory Location'
+set style data points
+unset key
+plot base.'-locations.dat' using 1:($3==1?$2:1/0) with points pt 2 title 'allocated', \
+     ''                    using 1:($3==0?$2:1/0) with points pt 1 title 'unallocated'
