@@ -1,0 +1,325 @@
+(* The full benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Sections 2, 3.2, 5.2/5.3, 6.2/6.3) on the simulated
+   substrate, then runs Bechamel micro-benchmarks backing the performance
+   claims (Figures 8, 19, 20: "no performance penalty").
+
+   Run with:  dune exec bench/main.exe
+   Figure-only / micro-only runs:
+     dune exec bench/main.exe -- --skip-micro
+     dune exec bench/main.exe -- --skip-figures *)
+
+open Memguard
+module Report = Memguard_scan.Report
+module Scanner = Memguard_scan.Scanner
+module Kernel = Memguard_kernel.Kernel
+module Sshd = Memguard_apps.Sshd
+module Apache = Memguard_apps.Apache
+module Ssl = Memguard_ssl.Ssl
+module Sim_rsa = Memguard_ssl.Sim_rsa
+module Bn = Memguard_bignum.Bn
+module Rsa = Memguard_crypto.Rsa
+module Prng = Memguard_util.Prng
+
+let section title =
+  Format.printf "@.=== %s ===@." title
+
+let server_name s = match s with Experiment.Ssh -> "OpenSSH" | Experiment.Http -> "Apache"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's figures                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig_1_2 () =
+  List.iter
+    (fun (server, fig) ->
+      section
+        (Printf.sprintf "Figure %s — %s private keys recovered by the ext2 attack" fig
+           (server_name server));
+      let pts =
+        Experiment.ext2_sweep ~trials:3 ~connections:[ 50; 150; 300; 500 ]
+          ~directories:[ 250; 1000; 4000 ] server
+      in
+      Format.printf "%a" Experiment.pp_sweep pts)
+    [ (Experiment.Ssh, "1(a,b)"); (Experiment.Http, "2(a,b)") ]
+
+let fig_3_4 () =
+  List.iter
+    (fun (server, fig) ->
+      section
+        (Printf.sprintf "Figure %s — %s private keys recovered by the n_tty dump" fig
+           (server_name server));
+      let pts = Experiment.tty_sweep ~trials:5 server in
+      Format.printf "%a" Experiment.pp_sweep pts)
+    [ (Experiment.Ssh, "3(a,b)"); (Experiment.Http, "4(a,b)") ]
+
+let print_timeline level server =
+  let snaps = Experiment.timeline ~level ~num_pages:4096 server in
+  Format.printf "%a" Report.pp_series snaps
+
+let fig_5_6 () =
+  section "Figure 5(a,b) — OpenSSH key copies over time, no protection";
+  print_timeline Protection.Unprotected Experiment.Ssh;
+  section "Figure 6(a,b) — Apache key copies over time, no protection";
+  print_timeline Protection.Unprotected Experiment.Http
+
+let fig_7_17_18 () =
+  List.iter
+    (fun (server, fig) ->
+      section
+        (Printf.sprintf "Figure %s — tty attack before/after the integrated solution (%s)" fig
+           (server_name server));
+      List.iter
+        (fun (level, pts) ->
+          Format.printf "-- %s --@.%a" (Protection.name level) Experiment.pp_sweep pts)
+        (Experiment.before_after_tty ~trials:10 server))
+    [ (Experiment.Ssh, "7(a,b)"); (Experiment.Http, "17/18") ]
+
+let fig_9_16_21_28 () =
+  List.iter
+    (fun (server, figs) ->
+      List.iter
+        (fun (level, fig) ->
+          section
+            (Printf.sprintf "Figure %s — %s under the %s-level solution" fig
+               (server_name server) (Protection.name level));
+          print_timeline level server)
+        figs)
+    [ ( Experiment.Ssh,
+        [ (Protection.Application, "9/10"); (Protection.Library, "11/12");
+          (Protection.Kernel_level, "13/14"); (Protection.Integrated, "15/16")
+        ] );
+      ( Experiment.Http,
+        [ (Protection.Application, "21/22"); (Protection.Library, "23/24");
+          (Protection.Kernel_level, "25/26"); (Protection.Integrated, "27/28")
+        ] )
+    ]
+
+let fig_8_19_20 () =
+  List.iter
+    (fun (server, fig, what) ->
+      section (Printf.sprintf "Figure %s — %s %s before/after (wall-clock, simulated substrate)" fig (server_name server) what);
+      List.iter
+        (fun level ->
+          let p = Experiment.perf_run ~level ~transactions:400 ~concurrent:20 server in
+          Format.printf "%-14s %a@." (Protection.name level) Experiment.pp_perf p)
+        [ Protection.Unprotected; Protection.Integrated ])
+    [ (Experiment.Ssh, "8", "scp stress"); (Experiment.Http, "19/20", "Siege stress") ]
+
+let section_52_62_ext2 () =
+  List.iter
+    (fun (server, sec) ->
+      section
+        (Printf.sprintf "Section %s — ext2 attack against every protection level (%s)" sec
+           (server_name server));
+      Format.printf "%-16s %12s %10s@." "level" "copies/run" "success";
+      List.iter
+        (fun (level, pts) ->
+          List.iter
+            (fun p ->
+              Format.printf "%-16s %12.2f %9.0f%%@." (Protection.name level)
+                p.Experiment.mean_copies (100. *. p.Experiment.success_rate))
+            pts)
+        (Experiment.before_after_ext2 ~trials:3 server))
+    [ (Experiment.Ssh, "5.2"); (Experiment.Http, "6.2") ]
+
+let ablations () =
+  section "Ablation A1 — secure-dealloc vs kernel vs integrated (success rates)";
+  Format.printf "%-16s %10s %10s@." "level" "ext2" "tty";
+  List.iter
+    (fun (name, ext2, tty) ->
+      Format.printf "%-16s %9.0f%% %9.0f%%@." name (100. *. ext2) (100. *. tty))
+    (Experiment.ablation_dealloc ());
+  section "Ablation A2 — COW sharing: allocated key copies vs apache workers";
+  Format.printf "%-8s %10s %10s@." "workers" "vanilla" "hardened";
+  List.iter
+    (fun (w, v, h) -> Format.printf "%-8d %10d %10d@." w v h)
+    (Experiment.ablation_cow ());
+  section "Ablation A3 — swap: key hits on the swap device under memory pressure";
+  List.iter (fun (name, hits) -> Format.printf "%-24s %d@." name hits) (Experiment.ablation_swap ());
+  section "Ablation A4 — O_NOCACHE: PEM copies left in RAM after a key load";
+  List.iter (fun (name, n) -> Format.printf "%-24s %d@." name n) (Experiment.ablation_nocache ());
+  section "Ablation A5 — encrypted key file: passphrase & key copies in RAM after load";
+  Format.printf "%-28s %12s %8s@." "configuration" "passphrase" "d";
+  List.iter
+    (fun (name, pass, d) -> Format.printf "%-28s %12d %8d@." name pass d)
+    (Experiment.ablation_encrypted_key ());
+  section "Ablation A6 — core dump of the server process (what alignment cannot fix)";
+  List.iter
+    (fun (name, copies) -> Format.printf "%-16s %d key copies in the core@." name copies)
+    (Experiment.ablation_core_dump ());
+  section "Ablation A7 — tty success rate vs disclosed fraction (integrated system)";
+  Format.printf "%-12s %10s@." "fraction" "success";
+  List.iter
+    (fun (f, s) -> Format.printf "%-12.2f %9.0f%%@." f (100. *. s))
+    (Experiment.ablation_tty_fraction ())
+
+let figures () =
+  fig_1_2 ();
+  fig_3_4 ();
+  fig_5_6 ();
+  fig_7_17_18 ();
+  fig_8_19_20 ();
+  fig_9_16_21_28 ();
+  section_52_62_ext2 ();
+  ablations ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+(* per-operation setup shared across runs; allocations recycle inside the
+   simulated kernel so state stays bounded *)
+
+let bench_rsa_op level =
+  let sys = System.create ~num_pages:1024 ~seed:1 ~noise:false ~level () in
+  let k = System.kernel sys in
+  let p = Kernel.spawn k ~name:"bench" in
+  let rsa =
+    Ssl.load_private_key k p ~path:System.key_path
+      ~nocache:(Protection.nocache level)
+      (Protection.ssl_mode_patched_app level)
+  in
+  let c = Bn.of_int 0xBEEF in
+  Staged.stage (fun () -> ignore (Sim_rsa.private_op k p rsa c))
+
+let bench_page_alloc ~zero =
+  let mem = Memguard_vmm.Phys_mem.create ~num_pages:1024 () in
+  let buddy = Memguard_vmm.Buddy.create ~zero_on_free:zero mem in
+  Staged.stage (fun () ->
+      match Memguard_vmm.Buddy.alloc_page buddy with
+      | Some pfn -> Memguard_vmm.Buddy.free_page buddy pfn
+      | None -> assert false)
+
+let bench_ssh_connection level =
+  let sys = System.create ~num_pages:2048 ~seed:2 ~noise:false ~level () in
+  let srv = System.start_sshd sys in
+  let rng = System.rng sys in
+  Staged.stage (fun () ->
+      let conn = Sshd.open_connection srv rng in
+      Sshd.transfer srv conn rng ~kib:4;
+      Sshd.close_connection srv conn)
+
+let bench_apache_request level =
+  let sys = System.create ~num_pages:2048 ~seed:3 ~noise:false ~level () in
+  let srv = System.start_apache sys in
+  let rng = System.rng sys in
+  Staged.stage (fun () ->
+      match Apache.open_connection srv rng with
+      | Some conn ->
+        Apache.serve srv conn rng ~kib:8;
+        Apache.close_connection srv conn
+      | None -> assert false)
+
+let bench_key_load level =
+  let sys = System.create ~num_pages:2048 ~seed:4 ~noise:false ~level () in
+  let k = System.kernel sys in
+  let p = Kernel.spawn k ~name:"loader" in
+  let mode = Protection.ssl_mode_patched_app level in
+  let nocache = Protection.nocache level in
+  Staged.stage (fun () ->
+      let rsa = Ssl.load_private_key k p ~path:System.key_path ~nocache mode in
+      Sim_rsa.clear_free k p rsa)
+
+let bench_scan () =
+  let sys = System.create ~num_pages:2048 ~seed:5 ~level:Protection.Unprotected () in
+  let patterns = System.patterns sys in
+  let k = System.kernel sys in
+  Staged.stage (fun () -> ignore (Scanner.scan k ~patterns))
+
+let bench_mkdir_leak () =
+  let config = { Kernel.default_config with num_pages = 256 } in
+  let k = Kernel.create ~config () in
+  Staged.stage (fun () ->
+      ignore (Kernel.ext2_mkdir_leak k);
+      Kernel.ext2_unmount k)
+
+let bench_modpow bits =
+  let rng = Prng.of_int 17 in
+  let key = Rsa.generate rng ~bits in
+  let c = Bn.random_below rng key.Rsa.n in
+  Staged.stage (fun () -> ignore (Rsa.decrypt_raw key c))
+
+let run_micro () =
+  section "Bechamel micro-benchmarks (ns per operation, OLS fit)";
+  let tests =
+    Test.make_grouped ~name:"memguard"
+      [ Test.make ~name:"fig8/ssh_connection/unprotected"
+          (bench_ssh_connection Protection.Unprotected);
+        Test.make ~name:"fig8/ssh_connection/integrated"
+          (bench_ssh_connection Protection.Integrated);
+        Test.make ~name:"fig19_20/apache_request/unprotected"
+          (bench_apache_request Protection.Unprotected);
+        Test.make ~name:"fig19_20/apache_request/integrated"
+          (bench_apache_request Protection.Integrated);
+        Test.make ~name:"rsa_private_op/vanilla" (bench_rsa_op Protection.Unprotected);
+        Test.make ~name:"rsa_private_op/aligned" (bench_rsa_op Protection.Integrated);
+        Test.make ~name:"page_alloc_free/vanilla" (bench_page_alloc ~zero:false);
+        Test.make ~name:"page_alloc_free/zero_on_free" (bench_page_alloc ~zero:true);
+        Test.make ~name:"key_load/vanilla" (bench_key_load Protection.Unprotected);
+        Test.make ~name:"key_load/hardened_nocache" (bench_key_load Protection.Integrated);
+        Test.make ~name:"scanmemory/8MiB_4patterns" (bench_scan ());
+        Test.make ~name:"ext2_mkdir_leak" (bench_mkdir_leak ());
+        Test.make ~name:"bn_modpow/512" (bench_modpow 512);
+        Test.make ~name:"bn_modpow/1024" (bench_modpow 1024);
+        Test.make ~name:"aes128_cbc/1KiB"
+          (let key = String.init 16 Char.chr and iv = String.make 16 'v' in
+           let plain = String.make 1024 'p' in
+           Staged.stage (fun () -> ignore (Memguard_crypto.Aes.cbc_encrypt ~key ~iv plain)));
+        Test.make ~name:"md5/1KiB"
+          (let data = String.make 1024 'm' in
+           Staged.stage (fun () -> ignore (Memguard_crypto.Md5.digest data)));
+        Test.make ~name:"proto/ssh_kex_handshake"
+          (let sys = System.create ~num_pages:1024 ~seed:31 ~noise:false ~level:Protection.Unprotected () in
+           let kk = System.kernel sys in
+           let p = Kernel.spawn kk ~name:"kex" in
+           let rsa = Ssl.load_private_key kk p ~path:System.key_path Ssl.Vanilla in
+           let rng = Prng.of_int 32 in
+           Staged.stage (fun () ->
+               let s = Memguard_proto.Ssh_kex.server_handshake rng kk p ~host_key:rsa () in
+               Memguard_proto.Ssh_kex.close kk p s));
+        Test.make ~name:"proto/tls_handshake"
+          (let sys = System.create ~num_pages:1024 ~seed:33 ~noise:false ~level:Protection.Unprotected () in
+           let kk = System.kernel sys in
+           let p = Kernel.spawn kk ~name:"tls" in
+           let rsa = Ssl.load_private_key kk p ~path:System.key_path Ssl.Vanilla in
+           let rng = Prng.of_int 34 in
+           Staged.stage (fun () ->
+               let s = Memguard_proto.Tls_rsa.server_handshake rng kk p ~cert_key:rsa in
+               Memguard_proto.Tls_rsa.close kk p s));
+        Test.make ~name:"dsa_sign/256"
+          (let rng = Prng.of_int 21 in
+           let params = Memguard_crypto.Dsa.generate_params rng ~pbits:256 ~qbits:96 in
+           let dkey = Memguard_crypto.Dsa.generate rng params in
+           let msg = Bn.of_int 424242 in
+           Staged.stage (fun () -> ignore (Memguard_crypto.Dsa.sign rng dkey msg)))
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  Format.printf "%-52s %14s %8s@." "benchmark" "ns/op" "r^2";
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+      in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+      Format.printf "%-52s %14.1f %8.3f@." name est r2)
+    (List.sort compare rows)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let skip_figures = List.mem "--skip-figures" args in
+  let skip_micro = List.mem "--skip-micro" args in
+  Format.printf
+    "memguard benchmark harness — Harrison & Xu, DSN'07 reproduction@.\
+     (shapes, not absolute values, are the comparison target; see EXPERIMENTS.md)@.";
+  if not skip_figures then figures ();
+  if not skip_micro then run_micro ();
+  Format.printf "@.done.@."

@@ -1,0 +1,282 @@
+(* memguard — regenerate any experiment from the paper from the command line.
+
+   Examples:
+     memguard timeline --server ssh --level unprotected
+     memguard ext2 --server ssh --trials 15
+     memguard tty --server http --level integrated
+     memguard before-after --attack tty --server ssh
+     memguard perf --server http
+     memguard ablations *)
+
+open Cmdliner
+open Memguard
+
+let level_conv =
+  let parse s =
+    match Protection.of_name s with
+    | Some l -> Ok l
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown level %S (expected one of: %s)" s
+             (String.concat ", " (List.map Protection.name Protection.all))))
+  in
+  Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Protection.name l))
+
+let level_arg =
+  Arg.(value & opt level_conv Protection.Unprotected
+       & info [ "l"; "level" ] ~docv:"LEVEL" ~doc:"Protection level.")
+
+let server_conv =
+  let parse s =
+    match s with
+    | "ssh" -> Ok Experiment.Ssh
+    | "http" | "apache" -> Ok Experiment.Http
+    | _ -> Error (`Msg "expected 'ssh' or 'http'")
+  in
+  Arg.conv
+    (parse, fun fmt s -> Format.pp_print_string fmt (match s with Experiment.Ssh -> "ssh" | Experiment.Http -> "http"))
+
+let server_arg =
+  Arg.(value & opt server_conv Experiment.Ssh
+       & info [ "s"; "server" ] ~docv:"SERVER" ~doc:"Target server: ssh or http.")
+
+let trials_arg default =
+  Arg.(value & opt int default & info [ "trials" ] ~docv:"N" ~doc:"Trials per parameter point.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let pages_arg default =
+  Arg.(value & opt int default
+       & info [ "pages" ] ~docv:"N" ~doc:"Physical memory size in 4 KiB pages (power of two).")
+
+let key_bits_arg =
+  Arg.(value & opt int 256
+       & info [ "key-bits" ] ~docv:"N" ~doc:"RSA modulus size (the paper used 1024).")
+
+let int_list_conv =
+  let parse s =
+    try Ok (List.map int_of_string (String.split_on_char ',' s))
+    with Failure _ -> Error (`Msg "expected a comma-separated list of integers")
+  in
+  Arg.conv
+    (parse, fun fmt l -> Format.pp_print_string fmt (String.concat "," (List.map string_of_int l)))
+
+let connections_arg =
+  Arg.(value & opt (some int_list_conv) None
+       & info [ "connections" ] ~docv:"N,N,..." ~doc:"Connection counts to sweep.")
+
+let directories_arg =
+  Arg.(value & opt (some int_list_conv) None
+       & info [ "directories" ] ~docv:"N,N,..." ~doc:"Directory counts to sweep (ext2 only).")
+
+let timeline_cmd =
+  let run level server seed pages key_bits churn =
+    Format.printf "# timeline: server=%s level=%s (%s)@."
+      (match server with Experiment.Ssh -> "ssh" | Experiment.Http -> "http")
+      (Protection.name level) (Protection.describe level);
+    let snaps = Experiment.timeline ~level ~seed ~num_pages:pages ~key_bits ~churn server in
+    Format.printf "%a" Memguard_scan.Report.pp_series snaps
+  in
+  let churn =
+    Arg.(value & opt int 3 & info [ "churn" ] ~docv:"N" ~doc:"Reconnect cycles per slot per tick.")
+  in
+  Cmd.v
+    (Cmd.info "timeline" ~doc:"Figures 5/6/9-16/21-28: key copies over the scripted t=0..29 run")
+    Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ key_bits_arg $ churn)
+
+let ext2_cmd =
+  let run level server seed pages key_bits trials connections directories =
+    Format.printf "# ext2 directory-leak attack sweep: server=%s level=%s@."
+      (match server with Experiment.Ssh -> "ssh" | Experiment.Http -> "http")
+      (Protection.name level);
+    let pts =
+      Experiment.ext2_sweep ~level ~seed ~num_pages:pages ~key_bits ~trials ?connections
+        ?directories server
+    in
+    Format.printf "%a" Experiment.pp_sweep pts
+  in
+  Cmd.v
+    (Cmd.info "ext2" ~doc:"Figures 1/2: copies recovered via the ext2 mkdir leak")
+    Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ key_bits_arg
+          $ trials_arg 5 $ connections_arg $ directories_arg)
+
+let tty_cmd =
+  let run level server seed pages key_bits trials connections =
+    Format.printf "# n_tty memory-dump attack sweep: server=%s level=%s@."
+      (match server with Experiment.Ssh -> "ssh" | Experiment.Http -> "http")
+      (Protection.name level);
+    let pts =
+      Experiment.tty_sweep ~level ~seed ~num_pages:pages ~key_bits ~trials ?connections server
+    in
+    Format.printf "%a" Experiment.pp_sweep pts
+  in
+  Cmd.v
+    (Cmd.info "tty" ~doc:"Figures 3/4: copies recovered via the n_tty dump")
+    Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 4096 $ key_bits_arg
+          $ trials_arg 5 $ connections_arg)
+
+let before_after_cmd =
+  let run attack server seed trials =
+    match attack with
+    | `Tty ->
+      Format.printf "# Figures 7/17/18: tty attack before vs after the integrated solution@.";
+      List.iter
+        (fun (level, pts) ->
+          Format.printf "## level=%s@.%a" (Protection.name level) Experiment.pp_sweep pts)
+        (Experiment.before_after_tty ~seed ~trials server)
+    | `Ext2 ->
+      Format.printf "# Section 5.2/6.2: ext2 attack against every level@.";
+      List.iter
+        (fun (level, pts) ->
+          Format.printf "## level=%s@.%a" (Protection.name level) Experiment.pp_sweep pts)
+        (Experiment.before_after_ext2 ~seed ~trials server)
+  in
+  let attack =
+    Arg.(value
+         & opt (enum [ ("tty", `Tty); ("ext2", `Ext2) ]) `Tty
+         & info [ "attack" ] ~docv:"ATTACK" ~doc:"tty or ext2.")
+  in
+  Cmd.v
+    (Cmd.info "before-after" ~doc:"Figures 7/17/18: attacks before vs after protection")
+    Term.(const run $ attack $ server_arg $ seed_arg $ trials_arg 10)
+
+let perf_cmd =
+  let run server seed transactions concurrent =
+    Format.printf "# Figures 8/19/20: stress benchmark, unprotected vs integrated@.";
+    List.iter
+      (fun level ->
+        let p = Experiment.perf_run ~level ~seed ~transactions ~concurrent server in
+        Format.printf "%-12s %a@." (Protection.name level) Experiment.pp_perf p)
+      [ Protection.Unprotected; Protection.Integrated ]
+  in
+  let transactions =
+    Arg.(value & opt int 400 & info [ "transactions" ] ~docv:"N" ~doc:"Total transactions.")
+  in
+  let concurrent =
+    Arg.(value & opt int 20 & info [ "concurrent" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  Cmd.v
+    (Cmd.info "perf" ~doc:"Figures 8/19/20: performance before vs after protection")
+    Term.(const run $ server_arg $ seed_arg $ transactions $ concurrent)
+
+let ablations_cmd =
+  let run seed =
+    Format.printf "# A1: Chow secure-dealloc vs kernel vs integrated (success rates)@.";
+    Format.printf "%-16s %10s %10s@." "level" "ext2" "tty";
+    List.iter
+      (fun (name, ext2, tty) -> Format.printf "%-16s %9.0f%% %9.0f%%@." name (100. *. ext2) (100. *. tty))
+      (Experiment.ablation_dealloc ~seed ());
+    Format.printf "@.# A2: COW sharing — allocated key copies vs apache workers@.";
+    Format.printf "%-8s %10s %10s@." "workers" "vanilla" "hardened";
+    List.iter
+      (fun (w, v, h) -> Format.printf "%-8d %10d %10d@." w v h)
+      (Experiment.ablation_cow ~seed ());
+    Format.printf "@.# A3: swap — key pattern hits on the swap device under pressure@.";
+    List.iter (fun (name, hits) -> Format.printf "%-24s %d@." name hits)
+      (Experiment.ablation_swap ~seed ());
+    Format.printf "@.# A4: O_NOCACHE — PEM copies in RAM after key load@.";
+    List.iter (fun (name, copies) -> Format.printf "%-24s %d@." name copies)
+      (Experiment.ablation_nocache ~seed ());
+    Format.printf "@.# A5: encrypted key file — passphrase/d copies in RAM@.";
+    List.iter
+      (fun (name, pass, d) -> Format.printf "%-28s pass=%d d=%d@." name pass d)
+      (Experiment.ablation_encrypted_key ~seed ());
+    Format.printf "@.# A6: core dump of the server process@.";
+    List.iter
+      (fun (name, copies) -> Format.printf "%-16s %d@." name copies)
+      (Experiment.ablation_core_dump ~seed ());
+    Format.printf "@.# A7: tty success vs disclosed fraction (integrated)@.";
+    List.iter
+      (fun (f, s) -> Format.printf "%.2f -> %.0f%%@." f (100. *. s))
+      (Experiment.ablation_tty_fraction ~seed ())
+  in
+  Cmd.v (Cmd.info "ablations" ~doc:"Design-choice ablations (A1-A4 in DESIGN.md)")
+    Term.(const run $ seed_arg)
+
+let dat_cmd =
+  let run what server level seed out =
+    let server_str = match server with Experiment.Ssh -> "ssh" | Experiment.Http -> "http" in
+    let what_str = match what with `Timeline -> "timeline" | `Ext2 -> "ext2" | `Tty -> "tty" in
+    let base = Printf.sprintf "%s/%s-%s-%s" out what_str server_str (Protection.name level) in
+    let write_file path content =
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      Format.printf "wrote %s@." path
+    in
+    (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    (match what with
+     | `Timeline ->
+       let snaps = Experiment.timeline ~level ~seed server in
+       let counts = Buffer.create 256 and locations = Buffer.create 256 in
+       Buffer.add_string counts "# time allocated unallocated total\n";
+       Buffer.add_string locations "# time phys_addr allocated(1/0)\n";
+       List.iter
+         (fun s ->
+           Buffer.add_string counts
+             (Printf.sprintf "%d %d %d %d\n" s.Memguard_scan.Report.time
+                s.Memguard_scan.Report.allocated s.Memguard_scan.Report.unallocated
+                s.Memguard_scan.Report.total);
+           List.iter
+             (fun (addr, alloc) ->
+               Buffer.add_string locations
+                 (Printf.sprintf "%d %d %d\n" s.Memguard_scan.Report.time addr
+                    (if alloc then 1 else 0)))
+             (Memguard_scan.Report.locations s))
+         snaps;
+       write_file (base ^ "-counts.dat") (Buffer.contents counts);
+       write_file (base ^ "-locations.dat") (Buffer.contents locations)
+     | `Ext2 ->
+       let pts = Experiment.ext2_sweep ~level ~seed server in
+       let buf = Buffer.create 256 in
+       Buffer.add_string buf "# connections directories copies success\n";
+       List.iter
+         (fun p ->
+           Buffer.add_string buf
+             (Printf.sprintf "%d %d %f %f\n" p.Experiment.connections p.Experiment.directories
+                p.Experiment.mean_copies p.Experiment.success_rate))
+         pts;
+       write_file (base ^ ".dat") (Buffer.contents buf)
+     | `Tty ->
+       let pts = Experiment.tty_sweep ~level ~seed server in
+       let buf = Buffer.create 256 in
+       Buffer.add_string buf "# connections copies success\n";
+       List.iter
+         (fun p ->
+           Buffer.add_string buf
+             (Printf.sprintf "%d %f %f\n" p.Experiment.connections p.Experiment.mean_copies
+                p.Experiment.success_rate))
+         pts;
+       write_file (base ^ ".dat") (Buffer.contents buf))
+  in
+  let what =
+    Arg.(value
+         & opt (enum [ ("timeline", `Timeline); ("ext2", `Ext2); ("tty", `Tty) ]) `Timeline
+         & info [ "what" ] ~docv:"WHAT" ~doc:"timeline, ext2 or tty.")
+  in
+  let out =
+    Arg.(value & opt string "plots/data" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "dat" ~doc:"Export gnuplot-ready .dat files (see plots/*.gp)")
+    Term.(const run $ what $ server_arg $ level_arg $ seed_arg $ out)
+
+let levels_cmd =
+  let run () =
+    List.iter
+      (fun l -> Format.printf "%-16s %s@." (Protection.name l) (Protection.describe l))
+      Protection.all
+  in
+  Cmd.v (Cmd.info "levels" ~doc:"List the protection levels") Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "memguard" ~version:"1.0.0"
+       ~doc:
+         "Reproduction of Harrison & Xu, 'Protecting Cryptographic Keys from Memory \
+          Disclosure Attacks' (DSN'07)")
+    [ timeline_cmd; ext2_cmd; tty_cmd; before_after_cmd; perf_cmd; ablations_cmd; dat_cmd;
+      levels_cmd ]
+
+let () = Stdlib.exit (Cmd.eval main)

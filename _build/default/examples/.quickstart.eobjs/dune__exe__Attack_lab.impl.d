@@ -1,0 +1,1 @@
+examples/attack_lab.ml: Bytes Fun List Memguard Memguard_apps Memguard_attack Memguard_bignum Memguard_crypto Memguard_util Option Printf Protection System

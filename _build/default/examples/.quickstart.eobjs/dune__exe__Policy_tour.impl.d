@@ -1,0 +1,1 @@
+examples/policy_tour.ml: List Memguard Memguard_apps Memguard_attack Memguard_scan Printf Protection String System

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Memguard Memguard_apps Memguard_attack Memguard_scan Printf Protection System

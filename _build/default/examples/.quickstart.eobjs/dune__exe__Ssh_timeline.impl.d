@@ -1,0 +1,1 @@
+examples/ssh_timeline.ml: Experiment List Memguard Memguard_scan Printf Protection String

@@ -1,0 +1,112 @@
+(* Attack lab: play the Section 2 attacker end-to-end.
+
+   We prime an unprotected Apache server with HTTPS traffic, run both
+   memory-disclosure exploits, carve the RSA key parts out of the leaked
+   bytes, rebuild the private key, and prove the theft worked by forging a
+   signature that the server's public key accepts.
+
+   Run with:  dune exec examples/attack_lab.exe *)
+
+open Memguard
+module Bn = Memguard_bignum.Bn
+module Rsa = Memguard_crypto.Rsa
+module Bytes_util = Memguard_util.Bytes_util
+module Apache = Memguard_apps.Apache
+module Ext2_leak = Memguard_attack.Ext2_leak
+module Tty_dump = Memguard_attack.Tty_dump
+
+(* The attacker knows the public key (n, e) — it is sent in every TLS
+   handshake — and greps leaked bytes for a factor of n.  In the paper the
+   search uses known byte patterns; here we even validate candidates like a
+   real attacker would: p divides n. *)
+let steal_factor ~(pub : Rsa.public) ~leak =
+  let half_bytes = (Bn.bit_length pub.Rsa.n / 8 + 1) / 2 in
+  let len = Bytes.length leak in
+  let rec scan i =
+    if i + half_bytes > len then None
+    else begin
+      let candidate = Bn.of_bytes_be (Bytes.sub_string leak i half_bytes) in
+      if Bn.compare candidate Bn.one > 0
+         && Bn.compare candidate pub.Rsa.n < 0
+         && Bn.is_zero (Bn.rem pub.Rsa.n candidate)
+      then Some candidate
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+let rebuild_private ~(pub : Rsa.public) ~p =
+  let q = Bn.div pub.Rsa.n p in
+  let p, q = if Bn.compare p q > 0 then (p, q) else (q, p) in
+  let p1 = Bn.sub p Bn.one and q1 = Bn.sub q Bn.one in
+  let phi = Bn.mul p1 q1 in
+  let d = Option.get (Bn.mod_inverse pub.Rsa.e phi) in
+  { Rsa.n = pub.Rsa.n;
+    e = pub.Rsa.e;
+    d;
+    p;
+    q;
+    dp = Bn.rem d p1;
+    dq = Bn.rem d q1;
+    qinv = Option.get (Bn.mod_inverse q p)
+  }
+
+let () =
+  print_endline "[victim] booting 32 MiB machine, starting Apache with mod_ssl...";
+  let sys = System.create ~seed:2007 ~level:Protection.Unprotected () in
+  let apache = System.start_apache sys in
+  let pub = Apache.public apache in
+  let rng = System.rng sys in
+
+  print_endline "[client] issuing a burst of 60 concurrent HTTPS requests...";
+  let conns = List.filter_map (fun _ -> Apache.open_connection apache rng) (List.init 60 Fun.id) in
+  List.iter (fun c -> Apache.serve apache c rng ~kib:16) conns;
+  (* closing the burst lets prefork reap the spare workers — and their
+     heaps, full of key copies, fall into unallocated memory *)
+  List.iter (Apache.close_connection apache) conns;
+
+  print_endline "[attacker] exploit 1: ext2 mkdir leak (no privileges needed)";
+  System.settle sys;
+  let stick = System.run_ext2_attack sys ~directories:5000 in
+  Printf.printf "  %d directories -> %s of stale kernel memory on our USB stick\n"
+    stick.Ext2_leak.directories
+    (Bytes_util.human_size (Ext2_leak.bytes_disclosed stick));
+  (match steal_factor ~pub ~leak:(Ext2_leak.device_bytes stick) with
+   | None -> print_endline "  no factor of n in the leak this time"
+   | Some p ->
+     print_endline "  found a prime factor of the server modulus in the leak!";
+     let stolen = rebuild_private ~pub ~p in
+     let msg = Bn.of_int 0xC0FFEE in
+     let signature = Rsa.sign_raw stolen msg in
+     Printf.printf "  forged signature verifies against the server key: %b\n"
+       (Rsa.verify_raw pub ~msg ~signature));
+
+  print_endline "[attacker] exploit 2: n_tty dump (~50% of RAM at a random offset)";
+  let dump = System.run_tty_attack sys in
+  Printf.printf "  dumped %s starting at %#x\n"
+    (Bytes_util.human_size (Bytes.length dump.Tty_dump.data))
+    dump.Tty_dump.start;
+  (match steal_factor ~pub ~leak:dump.Tty_dump.data with
+   | None -> print_endline "  window missed every key copy (rerun with another seed)"
+   | Some p ->
+     let stolen = rebuild_private ~pub ~p in
+     Printf.printf "  private key rebuilt from the dump; d matches: %b\n"
+       (Bn.equal stolen.Rsa.d (System.priv sys).Rsa.d));
+
+  print_endline "";
+  print_endline "[defender] same machine, integrated library-kernel protection:";
+  let sys2 = System.create ~seed:2007 ~level:Protection.Integrated () in
+  let apache2 = System.start_apache sys2 in
+  let rng2 = System.rng sys2 in
+  let conns = List.filter_map (fun _ -> Apache.open_connection apache2 rng2) (List.init 60 Fun.id) in
+  List.iter (Apache.close_connection apache2) conns;
+  System.settle sys2;
+  let stick2 = System.run_ext2_attack sys2 ~directories:5000 in
+  Printf.printf "  ext2 attack: %d key copies recovered\n"
+    (Ext2_leak.count_copies stick2 ~patterns:(System.patterns sys2));
+  let found =
+    match steal_factor ~pub:(Apache.public apache2) ~leak:(Ext2_leak.device_bytes stick2) with
+    | Some _ -> "found a factor (!)"
+    | None -> "no key material at all"
+  in
+  Printf.printf "  factor search over the stick: %s\n" found

@@ -1,0 +1,61 @@
+(* Policy tour: the same workload under all six protection levels, with the
+   paper's verdict on each — which attacks survive, and at what cost.
+
+   Run with:  dune exec examples/policy_tour.exe *)
+
+open Memguard
+module Report = Memguard_scan.Report
+module Sshd = Memguard_apps.Sshd
+module Ext2_leak = Memguard_attack.Ext2_leak
+module Tty_dump = Memguard_attack.Tty_dump
+
+type verdict = {
+  level : Protection.level;
+  live_copies : int;  (* while 8 connections are active *)
+  unallocated : int;  (* after they close *)
+  ext2_copies : int;
+  tty_copies : int;
+}
+
+let evaluate level =
+  let sys = System.create ~seed:99 ~level () in
+  let sshd = System.start_sshd sys in
+  let rng = System.rng sys in
+  let conns = List.init 8 (fun _ -> Sshd.open_connection sshd rng) in
+  let live = System.scan sys ~time:0 in
+  (* tty fires while the connections are still open *)
+  let dump = System.run_tty_attack sys in
+  let tty_copies = Tty_dump.count_copies dump ~patterns:(System.patterns sys) in
+  List.iter (Sshd.close_connection sshd) conns;
+  let after = System.scan sys ~time:1 in
+  System.settle sys;
+  let stick = System.run_ext2_attack sys ~directories:5000 in
+  let ext2_copies = Ext2_leak.count_copies stick ~patterns:(System.patterns sys) in
+  Sshd.stop sshd;
+  { level;
+    live_copies = live.Report.total;
+    unallocated = after.Report.unallocated;
+    ext2_copies;
+    tty_copies
+  }
+
+let () =
+  print_endline "Same machine, same ssh workload (8 concurrent connections), six policies:";
+  print_endline "";
+  Printf.printf "%-16s %12s %12s %11s %10s\n" "level" "live copies" "unallocated" "ext2 loot"
+    "tty loot";
+  Printf.printf "%s\n" (String.make 66 '-');
+  let rows = List.map evaluate Protection.all in
+  List.iter
+    (fun v ->
+      Printf.printf "%-16s %12d %12d %11d %10d\n" (Protection.name v.level) v.live_copies
+        v.unallocated v.ext2_copies v.tty_copies)
+    rows;
+  print_endline "";
+  print_endline "Reading guide (Section 4 of the paper):";
+  print_endline "- secure-dealloc / kernel clear free pages: ext2 loot drops to zero,";
+  print_endline "  but live copies still flood memory, so the tty dump keeps winning.";
+  print_endline "- application / library alignment collapses the flood to one copy, but";
+  print_endline "  a vanilla kernel could still expose stale pages from other sources.";
+  print_endline "- integrated does both and evicts the PEM file from the page cache:";
+  print_endline "  one mlocked page is all that is left to find."

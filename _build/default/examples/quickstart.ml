@@ -1,0 +1,62 @@
+(* Quickstart: build a simulated machine, run an OpenSSH server on it, and
+   watch where its RSA private key ends up in physical memory — first on a
+   vanilla system, then under the paper's integrated library-kernel
+   protection.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Memguard
+module Report = Memguard_scan.Report
+module Scanner = Memguard_scan.Scanner
+module Sshd = Memguard_apps.Sshd
+
+let show_machine level =
+  Printf.printf "=== %s — %s ===\n" (Protection.name level) (Protection.describe level);
+
+  (* A 32 MiB machine with a fresh 256-bit RSA host key on its disk. *)
+  let sys = System.create ~seed:42 ~level () in
+
+  (* Boot the ssh server and put 8 connections through it. *)
+  let sshd = System.start_sshd sys in
+  let rng = System.rng sys in
+  let conns = List.init 8 (fun _ -> Sshd.open_connection sshd rng) in
+
+  (* Scan all of physical memory for the key material, like the paper's
+     scanmemory kernel module. *)
+  let snap = System.scan sys ~time:0 in
+  Printf.printf "with 8 live connections: %d copies (%d allocated, %d unallocated)\n"
+    snap.Report.total snap.Report.allocated snap.Report.unallocated;
+  List.iter
+    (fun (label, n) -> Printf.printf "  pattern %-4s found %d times\n" label n)
+    (Report.by_label snap);
+
+  (* Show one hit in detail. *)
+  (match snap.Report.hits with
+   | hit :: _ -> Format.printf "  e.g. %a@." Scanner.pp_hit hit
+   | [] -> print_endline "  (no key material visible anywhere)");
+
+  (* Close the connections: watch copies migrate to unallocated memory. *)
+  List.iter (Sshd.close_connection sshd) conns;
+  let snap = System.scan sys ~time:1 in
+  Printf.printf "after closing them:      %d copies (%d allocated, %d unallocated)\n"
+    snap.Report.total snap.Report.allocated snap.Report.unallocated;
+
+  (* Now attack.  The ext2 mkdir leak can only see unallocated memory... *)
+  System.settle sys;
+  let ext2 = System.run_ext2_attack sys ~directories:5000 in
+  Printf.printf "ext2 attack (5000 dirs): %d copies recovered\n"
+    (Memguard_attack.Ext2_leak.count_copies ext2 ~patterns:(System.patterns sys));
+
+  (* ...while the n_tty dump grabs ~50%% of RAM, allocated or not. *)
+  let dump = System.run_tty_attack sys in
+  Printf.printf "n_tty dump (~50%% RAM):  %d copies recovered\n\n"
+    (Memguard_attack.Tty_dump.count_copies dump ~patterns:(System.patterns sys));
+
+  Sshd.stop sshd
+
+let () =
+  show_machine Protection.Unprotected;
+  show_machine Protection.Integrated;
+  print_endline "The integrated solution keeps exactly one mlocked physical copy of the";
+  print_endline "key parts, so the ext2 attack recovers nothing and the tty dump only";
+  print_endline "wins when its random window happens to cover that single page."

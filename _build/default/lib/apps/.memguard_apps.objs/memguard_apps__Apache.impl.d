@@ -1,0 +1,1 @@
+lib/apps/apache.ml: Bytes Kernel List Memguard_bignum Memguard_crypto Memguard_kernel Memguard_proto Memguard_ssl Memguard_util Proc String

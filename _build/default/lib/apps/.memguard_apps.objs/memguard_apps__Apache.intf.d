@@ -1,0 +1,1 @@
+lib/apps/apache.mli: Kernel Memguard_crypto Memguard_kernel Memguard_proto Memguard_ssl Memguard_util Proc

@@ -1,0 +1,1 @@
+lib/apps/plain_app.ml: Kernel Memguard_bignum Memguard_crypto Memguard_kernel Memguard_ssl Proc

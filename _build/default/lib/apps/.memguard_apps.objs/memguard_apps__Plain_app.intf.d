@@ -1,0 +1,1 @@
+lib/apps/plain_app.mli: Kernel Memguard_kernel Memguard_ssl Memguard_util Proc

@@ -1,0 +1,1 @@
+lib/apps/sshd.ml: Bytes Kernel List Memguard_bignum Memguard_crypto Memguard_kernel Memguard_proto Memguard_ssl Memguard_util Option Proc

@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Format List Memguard_util Printf String

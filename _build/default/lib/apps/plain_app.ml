@@ -1,0 +1,21 @@
+open Memguard_kernel
+module Ssl = Memguard_ssl.Ssl
+module Sim_rsa = Memguard_ssl.Sim_rsa
+module Rsa = Memguard_crypto.Rsa
+module Bn = Memguard_bignum.Bn
+
+type t = { kernel : Kernel.t; proc_ : Proc.t; rsa_ : Sim_rsa.t }
+
+let start k ~key_path ?(nocache = false) mode =
+  let proc_ = Kernel.spawn k ~name:"app" in
+  let rsa_ = Ssl.load_private_key k proc_ ~path:key_path ~nocache mode in
+  { kernel = k; proc_; rsa_ }
+
+let proc t = t.proc_
+let rsa t = t.rsa_
+
+let sign t rng =
+  let m = Bn.random_below rng t.rsa_.Sim_rsa.pub.Rsa.n in
+  ignore (Sim_rsa.private_op t.kernel t.proc_ t.rsa_ m)
+
+let stop t = Kernel.exit t.kernel t.proc_

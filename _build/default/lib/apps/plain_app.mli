@@ -1,0 +1,26 @@
+(** A third-party, *unpatched* application that loads a private key through
+    whatever OpenSSL the system ships.
+
+    This is the observable difference between the paper's application-level
+    and library-level solutions: a patched application ([Sshd]/[Apache]
+    calling [RSA_memory_align] themselves) protects only itself, while a
+    patched library ([d2i_PrivateKey] calling it) also protects this app. *)
+
+open Memguard_kernel
+
+type t
+
+val start :
+  Kernel.t -> key_path:string -> ?nocache:bool -> Memguard_ssl.Ssl.mode -> t
+(** The app loads the key exactly as the library tells it to — it never
+    calls [RSA_memory_align] on its own. *)
+
+val proc : t -> Proc.t
+
+val rsa : t -> Memguard_ssl.Sim_rsa.t
+
+val sign : t -> Memguard_util.Prng.t -> unit
+(** One private-key operation. *)
+
+val stop : t -> unit
+(** The app exits without scrubbing anything (the common case). *)

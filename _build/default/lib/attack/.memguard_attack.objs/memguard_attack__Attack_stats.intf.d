@@ -1,0 +1,1 @@
+lib/attack/attack_stats.mli: Format

@@ -1,0 +1,1 @@
+lib/attack/core_dump.ml: Buffer Kernel List Memguard_kernel Memguard_util Proc

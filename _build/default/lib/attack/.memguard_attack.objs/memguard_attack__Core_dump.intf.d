@@ -1,0 +1,1 @@
+lib/attack/core_dump.mli: Memguard_kernel

@@ -1,0 +1,1 @@
+lib/attack/ext2_leak.ml: Buffer Kernel List Memguard_kernel Memguard_util

@@ -1,0 +1,1 @@
+lib/attack/ext2_leak.mli: Buffer Memguard_kernel

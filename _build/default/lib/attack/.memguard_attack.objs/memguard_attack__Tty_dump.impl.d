@@ -1,0 +1,1 @@
+lib/attack/tty_dump.ml: Bytes Kernel List Memguard_kernel Memguard_util Memguard_vmm Phys_mem

@@ -1,0 +1,1 @@
+lib/attack/tty_dump.mli: Memguard_kernel Memguard_util

@@ -1,0 +1,17 @@
+open Memguard_kernel
+module Bytes_util = Memguard_util.Bytes_util
+
+type t = { pid : int; data : bytes }
+
+let dump k (p : Proc.t) =
+  let ps = Kernel.page_size k in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun vpn -> Buffer.add_string buf (Kernel.read_mem k p ~addr:(vpn * ps) ~len:ps))
+    (Proc.mapped_vpns p);
+  { pid = p.Proc.pid; data = Buffer.to_bytes buf }
+
+let count_copies t ~patterns =
+  List.fold_left (fun acc (_, needle) -> acc + Bytes_util.count ~needle t.data) 0 patterns
+
+let found_any t ~patterns = count_copies t ~patterns > 0

@@ -1,0 +1,29 @@
+open Memguard_kernel
+module Bytes_util = Memguard_util.Bytes_util
+
+type t = { device : Buffer.t; mutable directories : int }
+
+let create () = { device = Buffer.create 4096; directories = 0 }
+
+let mkdirs t k ~n =
+  (try
+     for _ = 1 to n do
+       Buffer.add_string t.device (Kernel.ext2_mkdir_leak k);
+       t.directories <- t.directories + 1
+     done
+   with Kernel.Out_of_memory ->
+     (* the stick (or RAM for its buffers) is full: the attacker keeps
+        whatever was already flushed *)
+     ())
+
+let device_bytes t = Buffer.to_bytes t.device
+
+let bytes_disclosed t = Buffer.length t.device
+
+let count_copies t ~patterns =
+  let dev = device_bytes t in
+  List.fold_left
+    (fun acc (_, needle) -> acc + Bytes_util.count ~needle dev)
+    0 patterns
+
+let found_any t ~patterns = count_copies t ~patterns > 0

@@ -1,0 +1,1 @@
+lib/bignum/bn.ml: Array Buffer Bytes Char Format List Memguard_util Printf Stdlib String

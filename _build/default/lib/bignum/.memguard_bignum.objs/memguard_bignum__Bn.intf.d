@@ -1,0 +1,1 @@
+lib/bignum/bn.mli: Format Memguard_util

@@ -1,0 +1,677 @@
+(* Little-endian 24-bit limbs.  base = 2^24 so that limb products (<= 2^48)
+   and small accumulations fit in the native 63-bit int. *)
+
+let limb_bits = 24
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* Invariants: mag has no leading (high-index) zero limb; sign = 0 iff mag
+   is empty; each limb is in [0, base). *)
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do decr n done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    let n = abs n in
+    let rec count acc v = if v = 0 then acc else count (acc + 1) (v lsr limb_bits) in
+    let len = count 0 n in
+    let mag = Array.make len 0 in
+    let v = ref n in
+    for i = 0 to len - 1 do
+      mag.(i) <- !v land limb_mask;
+      v := !v lsr limb_bits
+    done;
+    { sign; mag }
+  end
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int t =
+  let n = Array.length t.mag in
+  if n > 3 then failwith "Bn.to_int: too large"
+  else begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      if !v > max_int lsr limb_bits then failwith "Bn.to_int: too large";
+      v := (!v lsl limb_bits) lor t.mag.(i)
+    done;
+    t.sign * !v
+  end
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
+let is_even t = t.sign = 0 || t.mag.(0) land 1 = 0
+let is_odd t = not (is_even t)
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign >= 0 then t else { t with sign = 1 }
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+(* magnitude addition: |a| + |b| *)
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lmax = max la lb in
+  let r = Array.make (lmax + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to lmax - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  r.(lmax) <- !carry;
+  r
+
+(* magnitude subtraction: |a| - |b|, requires |a| >= |b| *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else begin
+    match cmp_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> normalize b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      (* propagate the final carry; it may need several limbs *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land limb_mask;
+        carry := s lsr limb_bits;
+        incr k
+      done
+    end
+  done;
+  r
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let sqr a = mul a a
+
+let bit_length t =
+  let n = Array.length t.mag in
+  if n = 0 then 0
+  else begin
+    let top = t.mag.(n - 1) in
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    ((n - 1) * limb_bits) + bits 0 top
+  end
+
+let test_bit t i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length t.mag && (t.mag.(limb) lsr off) land 1 = 1
+
+let num_limbs t = Array.length t.mag
+
+let shift_left_mag a bits =
+  if Array.length a = 0 then a
+  else begin
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    if off = 0 then Array.blit a 0 r limbs la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl off) lor !carry in
+        r.(i + limbs) <- v land limb_mask;
+        carry := v lsr limb_bits
+      done;
+      r.(la + limbs) <- !carry
+    end;
+    r
+  end
+
+let shift_right_mag a bits =
+  let limbs = bits / limb_bits and off = bits mod limb_bits in
+  let la = Array.length a in
+  if limbs >= la then [||]
+  else begin
+    let lr = la - limbs in
+    let r = Array.make lr 0 in
+    if off = 0 then Array.blit a limbs r 0 lr
+    else
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limbs) lsr off in
+        let hi = if i + limbs + 1 < la then (a.(i + limbs + 1) lsl (limb_bits - off)) land limb_mask else 0 in
+        r.(i) <- lo lor hi
+      done;
+    r
+  end
+
+let shift_left t bits =
+  if bits < 0 then invalid_arg "Bn.shift_left";
+  if t.sign = 0 || bits = 0 then t else normalize t.sign (shift_left_mag t.mag bits)
+
+let shift_right t bits =
+  if bits < 0 then invalid_arg "Bn.shift_right";
+  if t.sign = 0 || bits = 0 then t else normalize t.sign (shift_right_mag t.mag bits)
+
+(* Short division: magnitude / single limb d (0 < d < base). *)
+let divmod_mag_small u d =
+  let n = Array.length u in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor u.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+(* Knuth algorithm D on magnitudes.  Requires |u| >= |v|, |v| >= 2 limbs. *)
+let divmod_mag_knuth u v =
+  let n = Array.length v in
+  let m = Array.length u - n in
+  (* normalize so the top limb of v has its high bit set *)
+  let rec lead_shift s top = if top land (1 lsl (limb_bits - 1)) <> 0 then s else lead_shift (s + 1) (top lsl 1) in
+  let s = lead_shift 0 v.(n - 1) in
+  let un =
+    let shifted = shift_left_mag u s in
+    (* ensure length m+n+1 *)
+    if Array.length shifted >= m + n + 1 then Array.sub shifted 0 (m + n + 1)
+    else begin
+      let r = Array.make (m + n + 1) 0 in
+      Array.blit shifted 0 r 0 (Array.length shifted);
+      r
+    end
+  in
+  let vn =
+    let shifted = shift_left_mag v s in
+    Array.sub shifted 0 n
+  in
+  let q = Array.make (m + 1) 0 in
+  let vtop = vn.(n - 1) and vsecond = vn.(n - 2) in
+  for j = m downto 0 do
+    let numer = (un.(j + n) lsl limb_bits) lor un.(j + n - 1) in
+    let qhat = ref (numer / vtop) in
+    let rhat = ref (numer mod vtop) in
+    let continue_adjust = ref true in
+    while !continue_adjust do
+      if !qhat >= base || !qhat * vsecond > ((!rhat lsl limb_bits) lor un.(j + n - 2)) then begin
+        decr qhat;
+        rhat := !rhat + vtop;
+        if !rhat >= base then continue_adjust := false
+      end
+      else continue_adjust := false
+    done;
+    (* multiply and subtract: un[j..j+n] -= qhat * vn *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * vn.(i)) + !carry in
+      carry := p lsr limb_bits;
+      let sub = un.(i + j) - (p land limb_mask) - !borrow in
+      if sub < 0 then begin
+        un.(i + j) <- sub + base;
+        borrow := 1
+      end
+      else begin
+        un.(i + j) <- sub;
+        borrow := 0
+      end
+    done;
+    let sub = un.(j + n) - !carry - !borrow in
+    if sub < 0 then begin
+      un.(j + n) <- sub + base;
+      (* add back *)
+      decr qhat;
+      let carry2 = ref 0 in
+      for i = 0 to n - 1 do
+        let sum = un.(i + j) + vn.(i) + !carry2 in
+        un.(i + j) <- sum land limb_mask;
+        carry2 := sum lsr limb_bits
+      done;
+      un.(j + n) <- (un.(j + n) + !carry2) land limb_mask
+    end
+    else un.(j + n) <- sub;
+    q.(j) <- !qhat
+  done;
+  let r = shift_right_mag (Array.sub un 0 n) s in
+  (q, r)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let c = cmp_mag a.mag b.mag in
+  if c < 0 then begin
+    (* |a| < |b| *)
+    if a.sign >= 0 then (zero, a)
+    else
+      (* a negative: a = q*b + r with 0 <= r < |b| *)
+      let q = if b.sign > 0 then of_int (-1) else one in
+      (q, normalize 1 (sub_mag b.mag a.mag))
+  end
+  else begin
+    let qm, rm =
+      if Array.length b.mag = 1 then begin
+        let q, r = divmod_mag_small a.mag b.mag.(0) in
+        (q, if r = 0 then [||] else [| r |])
+      end
+      else divmod_mag_knuth a.mag b.mag
+    in
+    let quo = normalize (a.sign * b.sign) qm in
+    let rem = normalize 1 rm in
+    if a.sign >= 0 then (quo, if a.sign = 0 then zero else rem)
+    else if is_zero rem then (quo, zero)
+    else begin
+      (* adjust toward Euclidean remainder *)
+      let quo = if b.sign > 0 then sub quo one else add quo one in
+      let rem = normalize 1 (sub_mag b.mag rem.mag) in
+      (quo, rem)
+    end
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let add_int t n = add t (of_int n)
+let mul_int t n = mul t (of_int n)
+
+let rem_int t d =
+  if d <= 0 then invalid_arg "Bn.rem_int: modulus must be positive";
+  if d < base then begin
+    let r = ref 0 in
+    for i = Array.length t.mag - 1 downto 0 do
+      r := (((!r lsl limb_bits) lor t.mag.(i))) mod d
+    done;
+    if t.sign < 0 && !r <> 0 then d - !r else !r
+  end
+  else to_int (rem t (of_int d))
+
+let mod_pow_plain ~base:b ~exp ~modulus =
+  let b = rem b modulus in
+  let result = ref one in
+  let nbits = bit_length exp in
+  for i = nbits - 1 downto 0 do
+    result := rem (sqr !result) modulus;
+    if test_bit exp i then result := rem (mul !result b) modulus
+  done;
+  !result
+
+(* ---- Montgomery (REDC) arithmetic ---- *)
+
+module Mont = struct
+  type ctx = {
+    m : t;  (* odd modulus *)
+    k : int;  (* limbs in m; R = base^k *)
+    n0' : int;  (* -m^-1 mod 2^limb_bits *)
+    r2 : t;  (* R^2 mod m, for to_mont *)
+  }
+
+  let modulus ctx = ctx.m
+
+  (* inverse of an odd limb modulo 2^limb_bits by Newton–Hensel lifting *)
+  let inv_limb m0 =
+    let x = ref m0 in
+    (* each step doubles the number of correct low bits; 5 steps > 24 bits *)
+    for _ = 1 to 5 do
+      x := !x * (2 - (m0 * !x)) land limb_mask
+    done;
+    !x land limb_mask
+
+  let create m =
+    if m.sign <= 0 || is_even m || is_one m then None
+    else begin
+      let k = Array.length m.mag in
+      let n0' = base - inv_limb m.mag.(0) in
+      let r2 = rem (shift_left one (2 * k * limb_bits)) m in
+      Some { m; k; n0'; r2 }
+    end
+
+  (* REDC(T) = T * R^-1 mod m, for 0 <= T < m*R *)
+  let redc ctx t_in =
+    let k = ctx.k in
+    let mm = ctx.m.mag in
+    (* working copy, k extra limbs plus one for carries *)
+    let w = Array.make ((2 * k) + 1) 0 in
+    Array.blit t_in.mag 0 w 0 (Array.length t_in.mag);
+    for i = 0 to k - 1 do
+      let u = w.(i) * ctx.n0' land limb_mask in
+      (* w += u * m << (i limbs) *)
+      let carry = ref 0 in
+      for j = 0 to k - 1 do
+        let s = w.(i + j) + (u * mm.(j)) + !carry in
+        w.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      let idx = ref (i + k) in
+      while !carry <> 0 do
+        let s = w.(!idx) + !carry in
+        w.(!idx) <- s land limb_mask;
+        carry := s lsr limb_bits;
+        incr idx
+      done
+    done;
+    let hi = normalize 1 (Array.sub w k (k + 1)) in
+    if cmp_mag hi.mag mm >= 0 then normalize 1 (sub_mag hi.mag mm) else hi
+
+  let mul ctx a b =
+    if a.sign < 0 || b.sign < 0 then invalid_arg "Bn.Mont.mul: negative input";
+    redc ctx (mul a b)
+
+  let to_mont ctx x =
+    if x.sign < 0 || cmp_mag x.mag ctx.m.mag >= 0 then invalid_arg "Bn.Mont.to_mont: out of range";
+    mul ctx x ctx.r2
+
+  let from_mont ctx x = redc ctx x
+
+  let pow ctx ~base:b ~exp =
+    if exp.sign < 0 then invalid_arg "Bn.Mont.pow: negative exponent";
+    let b = to_mont ctx b in
+    (* 1 in the Montgomery domain is R mod m = REDC(R^2) *)
+    let one_m = from_mont ctx ctx.r2 in
+    let result = ref one_m in
+    let nbits = bit_length exp in
+    for i = nbits - 1 downto 0 do
+      result := mul ctx !result !result;
+      if test_bit exp i then result := mul ctx !result b
+    done;
+    from_mont ctx !result
+end
+
+let mod_pow ~base:b ~exp ~modulus =
+  if modulus.sign <= 0 then invalid_arg "Bn.mod_pow: modulus must be positive";
+  if exp.sign < 0 then invalid_arg "Bn.mod_pow: negative exponent";
+  if is_one modulus then zero
+  else if is_odd modulus && Array.length modulus.mag > 1 then
+    match Mont.create modulus with
+    | Some ctx -> Mont.pow ctx ~base:(rem b modulus) ~exp
+    | None -> mod_pow_plain ~base:b ~exp ~modulus
+  else mod_pow_plain ~base:b ~exp ~modulus
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let egcd a b =
+  let rec go old_r r old_s s old_t t =
+    if is_zero r then (old_r, old_s, old_t)
+    else begin
+      let q, rm = divmod old_r r in
+      go r rm s (sub old_s (mul q s)) t (sub old_t (mul q t))
+    end
+  in
+  let g, x, y = go a b one zero zero one in
+  if g.sign < 0 then (neg g, neg x, neg y) else (g, x, y)
+
+let mod_inverse a m =
+  if m.sign <= 0 then invalid_arg "Bn.mod_inverse: modulus must be positive";
+  let g, x, _ = egcd (rem a m) m in
+  if not (is_one g) then None else Some (rem x m)
+
+(* ---- conversions ---- *)
+
+let of_bytes_be s =
+  let n = String.length s in
+  if n = 0 then zero
+  else begin
+    let nlimbs = ((n * 8) + limb_bits - 1) / limb_bits in
+    let mag = Array.make nlimbs 0 in
+    (* consume bytes from the end (least significant) *)
+    let acc = ref 0 and accbits = ref 0 and limb = ref 0 in
+    for i = n - 1 downto 0 do
+      acc := !acc lor (Char.code s.[i] lsl !accbits);
+      accbits := !accbits + 8;
+      if !accbits >= limb_bits then begin
+        mag.(!limb) <- !acc land limb_mask;
+        acc := !acc lsr limb_bits;
+        accbits := !accbits - limb_bits;
+        incr limb
+      end
+    done;
+    if !accbits > 0 && !limb < nlimbs then mag.(!limb) <- !acc;
+    normalize 1 mag
+  end
+
+let to_bytes_be t =
+  if t.sign = 0 then ""
+  else begin
+    let nbytes = (bit_length t + 7) / 8 in
+    let b = Bytes.create nbytes in
+    for i = 0 to nbytes - 1 do
+      (* byte i is the most significant remaining *)
+      let bit_off = (nbytes - 1 - i) * 8 in
+      let limb = bit_off / limb_bits and off = bit_off mod limb_bits in
+      let lo = t.mag.(limb) lsr off in
+      let hi =
+        if off > limb_bits - 8 && limb + 1 < Array.length t.mag then
+          t.mag.(limb + 1) lsl (limb_bits - off)
+        else 0
+      in
+      Bytes.set b i (Char.chr ((lo lor hi) land 0xff))
+    done;
+    Bytes.unsafe_to_string b
+  end
+
+let to_bytes_be_pad t n =
+  let s = to_bytes_be t in
+  let l = String.length s in
+  if l > n then invalid_arg "Bn.to_bytes_be_pad: value too large"
+  else String.make (n - l) '\000' ^ s
+
+let of_hex h =
+  let neg_sign, h = if String.length h > 0 && h.[0] = '-' then (true, String.sub h 1 (String.length h - 1)) else (false, h) in
+  if String.length h = 0 then invalid_arg "Bn.of_hex: empty";
+  let h = if String.length h mod 2 = 1 then "0" ^ h else h in
+  let v = of_bytes_be (Memguard_util.Bytes_util.string_of_hex h) in
+  if neg_sign then neg v else v
+
+let to_hex t =
+  if t.sign = 0 then "0"
+  else begin
+    let s = Memguard_util.Bytes_util.hex_of_string (to_bytes_be t) in
+    let s = if String.length s > 1 && s.[0] = '0' then String.sub s 1 (String.length s - 1) else s in
+    if t.sign < 0 then "-" ^ s else s
+  end
+
+let of_dec s =
+  let neg_sign, s = if String.length s > 0 && s.[0] = '-' then (true, String.sub s 1 (String.length s - 1)) else (false, s) in
+  if String.length s = 0 then invalid_arg "Bn.of_dec: empty";
+  let v = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' -> v := add_int (mul_int !v 10) (Char.code c - Char.code '0')
+      | _ -> invalid_arg "Bn.of_dec: bad digit")
+    s;
+  if neg_sign then neg !v else !v
+
+let to_dec t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let ten9 = of_int 1_000_000_000 in
+    let rec go v acc =
+      if is_zero v then acc
+      else begin
+        let q, r = divmod v ten9 in
+        go q ((to_int r) :: acc)
+      end
+    in
+    let chunks = go (abs t) [] in
+    (match chunks with
+     | [] -> ()
+     | first :: rest ->
+       if t.sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let pp fmt t = Format.pp_print_string fmt (to_dec t)
+
+(* ---- randomness and primality ---- *)
+
+let random_bits rng bits =
+  if bits < 0 then invalid_arg "Bn.random_bits";
+  if bits = 0 then zero
+  else begin
+    let nlimbs = (bits + limb_bits - 1) / limb_bits in
+    let mag = Array.make nlimbs 0 in
+    for i = 0 to nlimbs - 1 do
+      mag.(i) <- Memguard_util.Prng.int rng base
+    done;
+    let top_bits = bits - ((nlimbs - 1) * limb_bits) in
+    mag.(nlimbs - 1) <- mag.(nlimbs - 1) land ((1 lsl top_bits) - 1);
+    normalize 1 mag
+  end
+
+let random_below rng bound =
+  if bound.sign <= 0 then invalid_arg "Bn.random_below: bound must be positive";
+  let bits = bit_length bound in
+  let rec go () =
+    let candidate = random_bits rng bits in
+    if compare candidate bound < 0 then candidate else go ()
+  in
+  go ()
+
+let small_primes =
+  (* primes below 1024 via a quick sieve *)
+  let limit = 1024 in
+  let sieve = Array.make (limit + 1) true in
+  sieve.(0) <- false;
+  sieve.(1) <- false;
+  let i = ref 2 in
+  while !i * !i <= limit do
+    if sieve.(!i) then begin
+      let j = ref (!i * !i) in
+      while !j <= limit do
+        sieve.(!j) <- false;
+        j := !j + !i
+      done
+    end;
+    incr i
+  done;
+  let acc = ref [] in
+  for p = limit downto 2 do
+    if sieve.(p) then acc := p :: !acc
+  done;
+  Array.of_list !acc
+
+let miller_rabin_witness n d s a =
+  (* true if a witnesses compositeness of n; d odd, n-1 = d * 2^s *)
+  let x = mod_pow ~base:a ~exp:d ~modulus:n in
+  let n1 = sub n one in
+  if is_one x || equal x n1 then false
+  else begin
+    let rec go i x =
+      if i >= s - 1 then true
+      else begin
+        let x = rem (sqr x) n in
+        if equal x n1 then false else go (i + 1) x
+      end
+    in
+    go 0 x
+  end
+
+let is_probable_prime ?(rounds = 20) rng n =
+  if n.sign <= 0 then false
+  else
+    match to_int n with
+    | small when small < 4 -> small = 2 || small = 3
+    | exception Failure _ -> (
+      if is_even n then false
+      else begin
+        let divisible =
+          Array.exists (fun p -> rem_int n p = 0) small_primes
+        in
+        if divisible then false
+        else begin
+          let n1 = sub n one in
+          let rec split d s = if is_even d then split (shift_right d 1) (s + 1) else (d, s) in
+          let d, s = split n1 0 in
+          let rec trial i =
+            if i >= rounds then true
+            else begin
+              let a = add (random_below rng (sub n (of_int 3))) two in
+              if miller_rabin_witness n d s a then false else trial (i + 1)
+            end
+          in
+          trial 0
+        end
+      end)
+    | small ->
+      if small mod 2 = 0 then false
+      else begin
+        let rec chk d = d * d > small || (small mod d <> 0 && chk (d + 2)) in
+        chk 3
+      end
+
+let gen_prime ?(rounds = 20) rng ~bits =
+  if bits < 8 then invalid_arg "Bn.gen_prime: need at least 8 bits";
+  let rec go () =
+    let candidate = random_bits rng bits in
+    (* force exact bit length, top two bits, oddness *)
+    let top = add (shift_left one (bits - 1)) (shift_left one (bits - 2)) in
+    let candidate =
+      let masked = rem candidate (shift_left one (bits - 2)) in
+      let c = add masked top in
+      if is_even c then add c one else c
+    in
+    if is_probable_prime ~rounds rng candidate then candidate else go ()
+  in
+  go ()

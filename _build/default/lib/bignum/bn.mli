@@ -1,0 +1,142 @@
+(** Arbitrary-precision integers, written from scratch for this project
+    (the sealed environment has no zarith).
+
+    Values are immutable.  Magnitudes are little-endian arrays of 24-bit
+    limbs, so every intermediate product fits comfortably in OCaml's native
+    63-bit [int].  The sizes involved in the reproduction (512–2048-bit RSA)
+    are small enough that schoolbook multiplication and Knuth's algorithm D
+    are the right tools. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+(** {1 Construction and conversion} *)
+
+val of_int : int -> t
+val to_int : t -> int
+(** Raises [Failure] if the value does not fit in an OCaml [int]. *)
+
+val of_dec : string -> t
+(** Parse a decimal string, with optional leading ['-']. *)
+
+val to_dec : t -> string
+
+val of_hex : string -> t
+(** Parse a hex string (no [0x] prefix), optional leading ['-']. *)
+
+val to_hex : t -> string
+
+val of_bytes_be : string -> t
+(** Big-endian unsigned magnitude; [""] is zero. *)
+
+val to_bytes_be : t -> string
+(** Minimal big-endian magnitude of [abs t]; [zero] encodes as [""]. *)
+
+val to_bytes_be_pad : t -> int -> string
+(** [to_bytes_be_pad t n] left-pads with zero bytes to exactly [n] bytes.
+    Raises [Invalid_argument] if the magnitude needs more than [n] bytes. *)
+
+(** {1 Queries} *)
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+val is_odd : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val bit_length : t -> int
+(** Bits in the magnitude; [bit_length zero = 0]. *)
+
+val test_bit : t -> int -> bool
+(** Bit [i] of the magnitude (bit 0 = least significant). *)
+
+val num_limbs : t -> int
+(** Number of 24-bit limbs in the magnitude (0 for zero). *)
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val sqr : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r] and [0 <= r < |b|] (Euclidean
+    remainder: [r] is always non-negative).  Raises [Division_by_zero]. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val add_int : t -> int -> t
+val mul_int : t -> int -> t
+val rem_int : t -> int -> int
+(** Remainder by a positive [int] modulus (non-negative result). *)
+
+(** {1 Modular arithmetic} *)
+
+val mod_pow : base:t -> exp:t -> modulus:t -> t
+(** [mod_pow ~base ~exp ~modulus] with [exp >= 0], [modulus > 0].
+    Uses Montgomery exponentiation for odd moduli (what OpenSSL's
+    [BN_MONT_CTX] buys), plain square-and-multiply otherwise. *)
+
+(** Montgomery arithmetic (REDC), exposed for callers that reuse a context
+    across many exponentiations — the real-world behaviour behind the
+    [RSA_FLAG_CACHE_PRIVATE] copies the paper tracks. *)
+module Mont : sig
+  type ctx
+
+  val create : t -> ctx option
+  (** [create m] precomputes a context for an odd modulus [m > 1];
+      [None] otherwise. *)
+
+  val modulus : ctx -> t
+
+  val to_mont : ctx -> t -> t
+  (** Map [x] (with [0 <= x < m]) into the Montgomery domain. *)
+
+  val from_mont : ctx -> t -> t
+
+  val mul : ctx -> t -> t -> t
+  (** Montgomery product of two domain values. *)
+
+  val pow : ctx -> base:t -> exp:t -> t
+  (** [pow ctx ~base ~exp] = [base^exp mod m] for plain (non-domain)
+      [base] with [0 <= base < m], [exp >= 0]. *)
+end
+
+val gcd : t -> t -> t
+
+val egcd : t -> t -> t * t * t
+(** [egcd a b = (g, x, y)] with [g = gcd a b = a*x + b*y]. *)
+
+val mod_inverse : t -> t -> t option
+(** [mod_inverse a m] is [Some x] with [a*x = 1 (mod m)], or [None] if
+    [gcd a m <> 1].  Result in [\[0, m)]. *)
+
+(** {1 Randomness and primality} *)
+
+val random_bits : Memguard_util.Prng.t -> int -> t
+(** Uniform in [\[0, 2^bits)]. *)
+
+val random_below : Memguard_util.Prng.t -> t -> t
+(** Uniform in [\[0, bound)]; requires [bound > 0]. *)
+
+val is_probable_prime : ?rounds:int -> Memguard_util.Prng.t -> t -> bool
+(** Trial division by small primes then Miller–Rabin ([rounds] defaults to 20). *)
+
+val gen_prime : ?rounds:int -> Memguard_util.Prng.t -> bits:int -> t
+(** Random probable prime with exactly [bits] bits (top two bits set so that
+    products of two such primes have full size).  Requires [bits >= 8]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/protection.ml: List Memguard_apps Memguard_ssl

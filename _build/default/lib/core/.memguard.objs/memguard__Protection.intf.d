@@ -1,0 +1,1 @@
+lib/core/protection.mli: Memguard_apps Memguard_ssl

@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Fun Kernel List Memguard_apps Memguard_attack Memguard_crypto Memguard_kernel Memguard_scan Memguard_ssl Memguard_util Memguard_vmm Protection

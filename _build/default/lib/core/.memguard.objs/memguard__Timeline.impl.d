@@ -1,0 +1,1 @@
+lib/core/timeline.ml: List Memguard_apps Memguard_util Option System

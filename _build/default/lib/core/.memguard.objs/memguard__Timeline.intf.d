@@ -1,0 +1,1 @@
+lib/core/timeline.mli: Memguard_apps Memguard_scan System

@@ -1,0 +1,99 @@
+open Memguard_kernel
+module Prng = Memguard_util.Prng
+module Rsa = Memguard_crypto.Rsa
+module Ssl = Memguard_ssl.Ssl
+module Scanner = Memguard_scan.Scanner
+module Report = Memguard_scan.Report
+module Sshd = Memguard_apps.Sshd
+module Apache = Memguard_apps.Apache
+module Plain_app = Memguard_apps.Plain_app
+module Ext2_leak = Memguard_attack.Ext2_leak
+module Tty_dump = Memguard_attack.Tty_dump
+
+type t = {
+  kernel_ : Kernel.t;
+  level_ : Protection.level;
+  priv_ : Rsa.priv;
+  pem_ : string;
+  rng_ : Prng.t;
+}
+
+let key_path = "/etc/ssl/host_key.pem"
+
+(* Boot-time churn: the "rest of the system" (drivers, caches, daemons)
+   allocates and releases most of physical memory before the server ever
+   starts.  Releasing in shuffled order loads the buddy hot list with a
+   shuffled stack of frames, so later allocations scatter across the whole
+   physical range — on real hardware this is what makes the disclosure
+   attacks sample effectively random pages.  A slice stays held for the
+   lifetime of the machine (long-lived kernel structures). *)
+let boot_noise kernel rng =
+  let buddy = Kernel.buddy kernel in
+  let total = Memguard_vmm.Phys_mem.num_pages (Kernel.mem kernel) in
+  let n = 3 * total / 4 in
+  let frames =
+    Array.of_list (List.filter_map (fun _ -> Memguard_vmm.Buddy.alloc_page buddy) (List.init n Fun.id))
+  in
+  Prng.shuffle rng frames;
+  let keep = Array.length frames / 10 in
+  for i = keep to Array.length frames - 1 do
+    Memguard_vmm.Buddy.free_page buddy frames.(i)
+  done
+
+let create ?(num_pages = 8192) ?(key_bits = 256) ?(seed = 1) ?(noise = true) ~level () =
+  let rng_ = Prng.of_int seed in
+  let config =
+    { Kernel.default_config with
+      num_pages;
+      zero_on_free = Protection.kernel_zero_on_free level;
+      secure_dealloc = Protection.kernel_secure_dealloc level
+    }
+  in
+  let kernel_ = Kernel.create ~config () in
+  if noise then boot_noise kernel_ (Prng.split rng_);
+  let priv_ = Rsa.generate (Prng.split rng_) ~bits:key_bits in
+  ignore (Kernel.write_file kernel_ ~path:key_path (Rsa.pem_of_priv priv_));
+  { kernel_; level_ = level; priv_; pem_ = Rsa.pem_of_priv priv_; rng_ }
+
+let kernel t = t.kernel_
+let level t = t.level_
+let priv t = t.priv_
+let pem t = t.pem_
+let rng t = t.rng_
+
+let patterns t = Scanner.key_patterns ~pem:t.pem_ t.priv_
+
+let start_sshd t = Sshd.start t.kernel_ ~key_path (Protection.sshd_options t.level_)
+
+let start_apache ?workers t =
+  Apache.start t.kernel_ ~key_path (Protection.apache_options ?workers t.level_)
+
+let start_plain_app t =
+  Plain_app.start t.kernel_ ~key_path ~nocache:(Protection.nocache t.level_)
+    (Protection.ssl_mode_plain_app t.level_)
+
+let scan t ~time = Report.of_hits ~time (Scanner.scan t.kernel_ ~patterns:(patterns t))
+
+(* Background churn between the workload and the attack: ongoing system
+   activity recycles the free lists, leaving freed pages in effectively
+   random order (content untouched — nothing clears them).  Without this,
+   the attacker's very first mkdirs would pop exactly the server's
+   just-freed pages, which no real machine would serve up so neatly. *)
+let settle t =
+  let buddy = Kernel.buddy t.kernel_ in
+  let rec grab acc =
+    match Memguard_vmm.Buddy.alloc_page buddy with
+    | Some pfn -> grab (pfn :: acc)
+    | None -> acc
+  in
+  let frames = Array.of_list (grab []) in
+  Prng.shuffle t.rng_ frames;
+  Array.iter (fun pfn -> Memguard_vmm.Buddy.free_page buddy pfn) frames
+
+let run_ext2_attack t ~directories =
+  let atk = Ext2_leak.create () in
+  Ext2_leak.mkdirs atk t.kernel_ ~n:directories;
+  Kernel.ext2_unmount t.kernel_;
+  atk
+
+let run_tty_attack t = Tty_dump.run t.rng_ t.kernel_ ()

@@ -1,0 +1,57 @@
+(** A complete simulated machine under a chosen {!Protection.level}: kernel
+    + disk with a PEM host key + servers, with scanning helpers.  This is
+    the top-level entry point of the library — see [examples/]. *)
+
+open Memguard_kernel
+
+type t
+
+val key_path : string
+(** ["/etc/ssl/host_key.pem"]. *)
+
+val create :
+  ?num_pages:int ->
+  ?key_bits:int ->
+  ?seed:int ->
+  ?noise:bool ->
+  level:Protection.level ->
+  unit ->
+  t
+(** Build a machine: fresh kernel (default 8192 pages = 32 MiB), a newly
+    generated RSA key (default 256-bit modulus — same copy topology as
+    1024-bit, much faster to simulate) written as a PEM file, and the
+    protection level's kernel knobs applied.  [noise] (default [true])
+    runs boot-time allocator churn so that later allocations scatter over
+    the whole physical range, as on a live machine. *)
+
+val kernel : t -> Kernel.t
+val level : t -> Protection.level
+val priv : t -> Memguard_crypto.Rsa.priv
+val pem : t -> string
+val rng : t -> Memguard_util.Prng.t
+
+val patterns : t -> (string * string) list
+(** The scanner patterns for this machine's key (d, p, q, pem). *)
+
+val start_sshd : t -> Memguard_apps.Sshd.t
+(** Start the OpenSSH server with the level's options. *)
+
+val start_apache : ?workers:int -> t -> Memguard_apps.Apache.t
+
+val start_plain_app : t -> Memguard_apps.Plain_app.t
+(** Start the unpatched third-party key-using application. *)
+
+val scan : t -> time:int -> Memguard_scan.Report.snapshot
+(** Run the scanner over physical memory right now. *)
+
+val settle : t -> unit
+(** Let background system activity churn the free lists (shuffling the
+    order in which free pages will be reused, without touching their
+    contents).  Run between a workload and an attack. *)
+
+val run_ext2_attack : t -> directories:int -> Memguard_attack.Ext2_leak.t
+(** Mount the stick, create the directories, unmount — returns the device
+    for the attacker's offline search. *)
+
+val run_tty_attack : t -> Memguard_attack.Tty_dump.dump
+(** One n_tty disclosure with the paper's ~50% window. *)

@@ -1,0 +1,1 @@
+lib/crypto/asn1.ml: Bn Char Format List Memguard_bignum Printf String

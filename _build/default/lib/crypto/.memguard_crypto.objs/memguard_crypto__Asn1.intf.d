@@ -1,0 +1,1 @@
+lib/crypto/asn1.mli: Format Memguard_bignum

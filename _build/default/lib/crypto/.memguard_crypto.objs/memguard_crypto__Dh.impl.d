@@ -1,0 +1,1 @@
+lib/crypto/dh.ml: Bn Memguard_bignum Memguard_util Result

@@ -1,0 +1,1 @@
+lib/crypto/dh.mli: Bn Memguard_bignum Memguard_util

@@ -1,0 +1,1 @@
+lib/crypto/dsa.ml: Asn1 Bn Memguard_bignum Memguard_util Pem Result

@@ -1,0 +1,1 @@
+lib/crypto/dsa.mli: Bn Memguard_bignum Memguard_util

@@ -1,0 +1,1 @@
+lib/crypto/md5.ml: Array Buffer Bytes Char List Memguard_util String

@@ -1,0 +1,1 @@
+lib/crypto/pem.ml: Aes Base64 List Md5 Memguard_util Printf Result String

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Asn1 Bn Format Memguard_bignum Pem Result String

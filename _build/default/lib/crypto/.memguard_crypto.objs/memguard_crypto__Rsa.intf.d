@@ -1,0 +1,1 @@
+lib/crypto/rsa.mli: Bn Format Memguard_bignum Memguard_util

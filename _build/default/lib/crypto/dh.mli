@@ -1,0 +1,27 @@
+(** Finite-field Diffie–Hellman, as used by the SSHv2 key exchange the
+    simulated OpenSSH performs (the host RSA key *signs* the exchange; the
+    session secret comes from DH). *)
+
+open Memguard_bignum
+
+type params = { p : Bn.t; g : Bn.t }
+
+val generate_params : Memguard_util.Prng.t -> bits:int -> params
+(** A safe prime [p = 2q+1] with generator of the order-q subgroup. *)
+
+val validate_params : params -> (unit, string) result
+
+val group_small : params
+(** A fixed 128-bit safe-prime group (pre-generated): fast handshakes for
+    simulations and tests.  Far too small for real use, obviously. *)
+
+val group_medium : params
+(** A fixed 256-bit safe-prime group. *)
+
+type keypair = { secret : Bn.t; public : Bn.t }
+
+val generate_keypair : Memguard_util.Prng.t -> params -> keypair
+
+val shared_secret : params -> secret:Bn.t -> peer_public:Bn.t -> Bn.t
+(** [peer_public^secret mod p].  Raises [Invalid_argument] on a peer value
+    outside [\[2, p-2\]] (small-subgroup hygiene). *)

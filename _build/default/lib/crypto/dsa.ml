@@ -1,0 +1,111 @@
+open Memguard_bignum
+module Prng = Memguard_util.Prng
+
+type params = { p : Bn.t; q : Bn.t; g : Bn.t }
+
+type priv = { params : params; x : Bn.t; y : Bn.t }
+
+type public = { params : params; y : Bn.t }
+
+let pem_label = "DSA PRIVATE KEY"
+
+let generate_params rng ~pbits ~qbits =
+  if qbits < 32 || qbits >= pbits then invalid_arg "Dsa.generate_params: need 32 <= qbits < pbits";
+  let q = Bn.gen_prime rng ~bits:qbits in
+  (* p = 2*q*m + 1 of the right size *)
+  let rec find_p () =
+    let m = Bn.random_bits rng (pbits - qbits - 1) in
+    let p = Bn.add (Bn.mul (Bn.mul Bn.two q) m) Bn.one in
+    if Bn.bit_length p = pbits && Bn.is_probable_prime rng p then p else find_p ()
+  in
+  let p = find_p () in
+  let e = Bn.div (Bn.sub p Bn.one) q in
+  let rec find_g () =
+    let h = Bn.add (Bn.random_below rng (Bn.sub p (Bn.of_int 3))) Bn.two in
+    let g = Bn.mod_pow ~base:h ~exp:e ~modulus:p in
+    if Bn.is_one g || Bn.is_zero g then find_g () else g
+  in
+  { p; q; g = find_g () }
+
+let validate_params { p; q; g } =
+  let ( let* ) r f = Result.bind r f in
+  let check cond msg = if cond then Ok () else Error msg in
+  let* () = check (Bn.is_zero (Bn.rem (Bn.sub p Bn.one) q)) "q does not divide p-1" in
+  let* () = check (Bn.compare g Bn.one > 0 && Bn.compare g p < 0) "g out of range" in
+  let* () = check (Bn.is_one (Bn.mod_pow ~base:g ~exp:q ~modulus:p)) "g^q <> 1 mod p" in
+  Ok ()
+
+let generate rng params : priv =
+  let x = Bn.add (Bn.random_below rng (Bn.sub params.q Bn.one)) Bn.one in
+  { params; x; y = Bn.mod_pow ~base:params.g ~exp:x ~modulus:params.p }
+
+let public_of_priv (k : priv) = { params = k.params; y = k.y }
+
+let rec sign rng (k : priv) m =
+  let { p; q; g } = k.params in
+  if Bn.sign m < 0 || Bn.compare m q >= 0 then invalid_arg "Dsa.sign: message out of range";
+  let kk = Bn.add (Bn.random_below rng (Bn.sub q Bn.one)) Bn.one in
+  let r = Bn.rem (Bn.mod_pow ~base:g ~exp:kk ~modulus:p) q in
+  if Bn.is_zero r then sign rng k m
+  else begin
+    match Bn.mod_inverse kk q with
+    | None -> sign rng k m
+    | Some kinv ->
+      let s = Bn.rem (Bn.mul kinv (Bn.add m (Bn.mul k.x r))) q in
+      if Bn.is_zero s then sign rng k m else (r, s)
+  end
+
+let verify pub ~msg ~signature:(r, s) =
+  let { p; q; g } = pub.params in
+  if Bn.sign r <= 0 || Bn.compare r q >= 0 || Bn.sign s <= 0 || Bn.compare s q >= 0 then false
+  else if Bn.sign msg < 0 || Bn.compare msg q >= 0 then false
+  else begin
+    match Bn.mod_inverse s q with
+    | None -> false
+    | Some w ->
+      let u1 = Bn.rem (Bn.mul msg w) q in
+      let u2 = Bn.rem (Bn.mul r w) q in
+      let v =
+        Bn.rem
+          (Bn.rem
+             (Bn.mul (Bn.mod_pow ~base:g ~exp:u1 ~modulus:p)
+                (Bn.mod_pow ~base:pub.y ~exp:u2 ~modulus:p))
+             p)
+          q
+      in
+      Bn.equal v r
+  end
+
+let der_of_priv (k : priv) =
+  Asn1.encode
+    (Asn1.Sequence
+       [ Asn1.Integer Bn.zero;
+         Asn1.Integer k.params.p;
+         Asn1.Integer k.params.q;
+         Asn1.Integer k.params.g;
+         Asn1.Integer k.y;
+         Asn1.Integer k.x
+       ])
+
+let priv_of_der der =
+  match Asn1.decode der with
+  | Error e -> Error ("bad DER: " ^ e)
+  | Ok (Asn1.Sequence
+          [ Asn1.Integer version; Asn1.Integer p; Asn1.Integer q; Asn1.Integer g;
+            Asn1.Integer y; Asn1.Integer x ]) ->
+    if not (Bn.is_zero version) then Error "unsupported DSAPrivateKey version"
+    else Ok { params = { p; q; g }; x; y }
+  | Ok _ -> Error "not a DSAPrivateKey structure"
+
+let pem_of_priv k = Pem.encode ~label:pem_label (der_of_priv k)
+
+let priv_of_pem text =
+  match Pem.decode ~label:pem_label text with
+  | Error e -> Error ("bad PEM: " ^ e)
+  | Ok der -> priv_of_der der
+
+let pattern_x k = Bn.to_bytes_be k.x
+
+let equal_priv (a : priv) (b : priv) =
+  Bn.equal a.params.p b.params.p && Bn.equal a.params.q b.params.q
+  && Bn.equal a.params.g b.params.g && Bn.equal a.x b.x && Bn.equal a.y b.y

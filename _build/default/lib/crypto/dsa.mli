@@ -1,0 +1,47 @@
+(** DSA (FIPS 186-style), the other host-key algorithm an OpenSSH server of
+    the paper's era offered.  Included to show the countermeasures are
+    key-type agnostic: the secret exponent [x] is one more byte pattern
+    that must not flood memory (see [Memguard_ssl.Sim_dsa]). *)
+
+open Memguard_bignum
+
+type params = {
+  p : Bn.t;  (** prime modulus *)
+  q : Bn.t;  (** prime divisor of p-1 *)
+  g : Bn.t;  (** generator of the order-q subgroup *)
+}
+
+type priv = { params : params; x : Bn.t; y : Bn.t }
+
+type public = { params : params; y : Bn.t }
+
+val pem_label : string
+(** ["DSA PRIVATE KEY"]. *)
+
+val generate_params : Memguard_util.Prng.t -> pbits:int -> qbits:int -> params
+(** Requires [qbits < pbits], [qbits >= 32]. *)
+
+val validate_params : params -> (unit, string) result
+
+val generate : Memguard_util.Prng.t -> params -> priv
+
+val public_of_priv : priv -> public
+
+val sign : Memguard_util.Prng.t -> priv -> Bn.t -> Bn.t * Bn.t
+(** [(r, s)] over a message representative [0 <= m < q]. *)
+
+val verify : public -> msg:Bn.t -> signature:Bn.t * Bn.t -> bool
+
+val der_of_priv : priv -> string
+(** OpenSSL's [DSAPrivateKey ::= SEQUENCE { 0, p, q, g, y, x }]. *)
+
+val priv_of_der : string -> (priv, string) result
+
+val pem_of_priv : priv -> string
+
+val priv_of_pem : string -> (priv, string) result
+
+val pattern_x : priv -> string
+(** The secret exponent's big-endian magnitude — the scanner target. *)
+
+val equal_priv : priv -> priv -> bool

@@ -1,0 +1,1 @@
+lib/kernel/fs.ml: Hashtbl List Option

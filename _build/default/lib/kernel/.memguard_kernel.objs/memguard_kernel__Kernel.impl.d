@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Buddy Buffer Bytes Char Fs Hashtbl List Memguard_crypto Memguard_vmm Option Page Page_cache Phys_mem Printf Proc String Swap

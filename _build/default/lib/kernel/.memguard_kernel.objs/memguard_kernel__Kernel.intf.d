@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Fs Memguard_vmm Page_cache Proc Swap

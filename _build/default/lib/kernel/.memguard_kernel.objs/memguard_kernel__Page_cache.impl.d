@@ -1,0 +1,1 @@
+lib/kernel/page_cache.ml: Buddy Hashtbl List Memguard_vmm Page Phys_mem String

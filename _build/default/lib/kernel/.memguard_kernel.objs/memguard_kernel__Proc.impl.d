@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/kernel/swap.ml: Array Bytes String

@@ -1,0 +1,89 @@
+open Memguard_vmm
+
+type entry = { pfn : int; mutable last_used : int }
+
+type t = {
+  mem : Phys_mem.t;
+  buddy : Buddy.t;
+  entries : (int * int, entry) Hashtbl.t;  (* (ino, index) -> frame *)
+  mutable clock : int;
+}
+
+let create mem buddy = { mem; buddy; entries = Hashtbl.create 64; clock = 0 }
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.last_used <- t.clock
+
+let lookup t ~ino ~index =
+  match Hashtbl.find_opt t.entries (ino, index) with
+  | Some e ->
+    touch t e;
+    Some e.pfn
+  | None -> None
+
+let drop_frame t pfn =
+  (* remove_from_page_cache + clear_highpage + __free_pages *)
+  Phys_mem.clear_frame t.mem pfn;
+  Buddy.free_page t.buddy pfn
+
+let insert t ~ino ~index content =
+  let ps = Phys_mem.page_size t.mem in
+  if String.length content > ps then invalid_arg "Page_cache.insert: content exceeds a page";
+  (match Hashtbl.find_opt t.entries (ino, index) with
+   | Some old ->
+     Hashtbl.remove t.entries (ino, index);
+     drop_frame t old.pfn
+   | None -> ());
+  match Buddy.alloc_page t.buddy with
+  | None -> None
+  | Some pfn ->
+    (* readpage zeroes the tail of a partial page *)
+    Phys_mem.clear_frame t.mem pfn;
+    Phys_mem.write t.mem ~addr:(Phys_mem.addr_of_pfn t.mem pfn) content;
+    let p = Phys_mem.page t.mem pfn in
+    p.Page.owner <- Page.Page_cache { ino; index };
+    p.Page.refcount <- 1;
+    let e = { pfn; last_used = 0 } in
+    touch t e;
+    Hashtbl.replace t.entries (ino, index) e;
+    Some pfn
+
+let entries_of_ino t ~ino =
+  Hashtbl.fold (fun (i, idx) e acc -> if i = ino then (idx, e.pfn) :: acc else acc) t.entries []
+
+let evict_ino t ~ino =
+  List.iter
+    (fun (idx, pfn) ->
+      Hashtbl.remove t.entries (ino, idx);
+      drop_frame t pfn)
+    (entries_of_ino t ~ino)
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= e.last_used -> acc
+        | _ -> Some (key, e))
+      t.entries None
+  in
+  match victim with
+  | None -> false
+  | Some (key, e) ->
+    Hashtbl.remove t.entries key;
+    (* plain reclaim: the frame is freed but NOT cleared *)
+    Buddy.free_page t.buddy e.pfn;
+    true
+
+let evict_all t =
+  let all = Hashtbl.fold (fun k e acc -> (k, e.pfn) :: acc) t.entries [] in
+  List.iter
+    (fun (k, pfn) ->
+      Hashtbl.remove t.entries k;
+      drop_frame t pfn)
+    all
+
+let frames_of_ino t ~ino = List.map snd (entries_of_ino t ~ino) |> List.sort compare
+
+let cached_frames t = Hashtbl.length t.entries

@@ -1,0 +1,1 @@
+lib/proto/ssh_kex.ml: Kernel Memguard_bignum Memguard_crypto Memguard_kernel Memguard_ssl Memguard_util String

@@ -1,0 +1,1 @@
+lib/proto/ssh_kex.mli: Kernel Memguard_crypto Memguard_kernel Memguard_ssl Memguard_util Proc

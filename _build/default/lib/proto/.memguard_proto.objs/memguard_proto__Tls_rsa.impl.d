@@ -1,0 +1,1 @@
+lib/proto/tls_rsa.ml: Buffer Bytes Kernel Memguard_bignum Memguard_crypto Memguard_kernel Memguard_ssl Memguard_util Printf String

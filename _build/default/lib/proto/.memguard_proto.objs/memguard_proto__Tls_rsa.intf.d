@@ -1,0 +1,1 @@
+lib/proto/tls_rsa.mli: Kernel Memguard_kernel Memguard_ssl Memguard_util Proc

@@ -1,0 +1,84 @@
+open Memguard_kernel
+module Bn = Memguard_bignum.Bn
+module Md5 = Memguard_crypto.Md5
+module Aes = Memguard_crypto.Aes
+module Rsa = Memguard_crypto.Rsa
+module Sim_rsa = Memguard_ssl.Sim_rsa
+module Prng = Memguard_util.Prng
+
+type session = {
+  master_addr : int;
+  master_len : int;
+  key_block_addr : int;
+  key_block_len : int;
+  mutable seq : int;
+}
+
+(* the SSL3/TLS1.0-flavoured PRF, MD5 half only (era-appropriate) *)
+let prf ~secret ~label ~seed ~length =
+  let buf = Buffer.create length in
+  let a = ref seed in
+  while Buffer.length buf < length do
+    a := Md5.digest (secret ^ !a);
+    Buffer.add_string buf (Md5.digest (secret ^ !a ^ label ^ seed))
+  done;
+  String.sub (Buffer.contents buf) 0 length
+
+let server_handshake rng k proc ~cert_key =
+  let n = cert_key.Sim_rsa.pub.Rsa.n in
+  let client_random = Bytes.to_string (Prng.bytes rng 16) in
+  let server_random = Bytes.to_string (Prng.bytes rng 16) in
+  (* client: premaster secret, RSA-encrypted to the certificate key *)
+  let premaster_bn = Bn.random_below rng n in
+  let encrypted = Rsa.encrypt_raw cert_key.Sim_rsa.pub premaster_bn in
+  (* server: THE private-key operation *)
+  let premaster = Sim_rsa.private_op k proc cert_key encrypted in
+  assert (Bn.equal premaster premaster_bn);
+  let pm_bytes = Bn.to_bytes_be premaster in
+  (* the decrypted premaster transits a server buffer; ssl3 memsets it
+     after deriving the master secret *)
+  let pm_buf = Kernel.malloc k proc (max 1 (String.length pm_bytes)) in
+  Kernel.write_mem k proc ~addr:pm_buf pm_bytes;
+  let master = prf ~secret:pm_bytes ~label:"master secret" ~seed:(client_random ^ server_random) ~length:24 in
+  Kernel.zero_mem k proc ~addr:pm_buf ~len:(String.length pm_bytes);
+  Kernel.free k proc pm_buf;
+  (* master secret and key block stay resident server-side *)
+  let master_addr = Kernel.malloc k proc (String.length master) in
+  Kernel.write_mem k proc ~addr:master_addr master;
+  let key_block =
+    prf ~secret:master ~label:"key expansion" ~seed:(server_random ^ client_random) ~length:32
+  in
+  let key_block_addr = Kernel.malloc k proc (String.length key_block) in
+  Kernel.write_mem k proc ~addr:key_block_addr key_block;
+  (* client end derives the same material (from its own premaster copy) *)
+  let client_master =
+    prf ~secret:pm_bytes ~label:"master secret" ~seed:(client_random ^ server_random) ~length:24
+  in
+  assert (String.equal master client_master);
+  { master_addr;
+    master_len = String.length master;
+    key_block_addr;
+    key_block_len = String.length key_block;
+    seq = 0
+  }
+
+let record_key k proc s =
+  let block = Kernel.read_mem k proc ~addr:s.key_block_addr ~len:s.key_block_len in
+  String.sub block 0 16
+
+let iv_for s ~seq = Md5.digest (Printf.sprintf "iv-%d-%d" s.key_block_addr seq)
+
+let seal k proc s payload =
+  let key = record_key k proc s in
+  let iv = iv_for s ~seq:s.seq in
+  let sealed = Aes.cbc_encrypt ~key ~iv payload in
+  s.seq <- s.seq + 1;
+  sealed
+
+let open_record k proc s ~seq data =
+  let key = record_key k proc s in
+  Aes.cbc_decrypt ~key ~iv:(iv_for s ~seq) data
+
+let close k proc s =
+  Kernel.free k proc s.master_addr;
+  Kernel.free k proc s.key_block_addr

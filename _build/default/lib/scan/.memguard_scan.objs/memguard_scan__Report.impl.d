@@ -1,0 +1,1 @@
+lib/scan/report.ml: Format Hashtbl List Option Scanner

@@ -1,0 +1,1 @@
+lib/scan/report.mli: Format Scanner

@@ -1,0 +1,1 @@
+lib/scan/scanner.ml: Buffer Bytes Format Kernel List Memguard_crypto Memguard_kernel Memguard_util Memguard_vmm Page Phys_mem Printf String Swap

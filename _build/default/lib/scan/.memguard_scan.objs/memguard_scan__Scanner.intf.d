@@ -1,0 +1,1 @@
+lib/scan/scanner.mli: Format Memguard_crypto Memguard_kernel

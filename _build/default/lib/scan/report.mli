@@ -1,0 +1,39 @@
+(** Aggregation of scanner output into the quantities the paper plots:
+    the number of key copies in allocated vs unallocated memory (the bar
+    charts of Figures 5(b)/6(b)/10/12/...) and their physical locations
+    (the scatter plots of Figures 5(a)/6(a)/9/11/...). *)
+
+type snapshot = {
+  time : int;  (** simulation tick *)
+  total : int;
+  allocated : int;
+  unallocated : int;
+  hits : Scanner.hit list;
+}
+
+val of_hits : time:int -> Scanner.hit list -> snapshot
+
+val by_label : snapshot -> (string * int) list
+(** Hit count per pattern label, label-sorted. *)
+
+val locations : snapshot -> (int * bool) list
+(** [(physical address, is_allocated)] pairs — one figure-5(a) column. *)
+
+val pp : Format.formatter -> snapshot -> unit
+
+val pp_series : Format.formatter -> snapshot list -> unit
+(** Render a timeline as the paper's count-vs-time table:
+    [time  allocated  unallocated  total]. *)
+
+type delta = {
+  appeared : Scanner.hit list;  (** present now, absent before *)
+  vanished : Scanner.hit list;  (** present before, absent now *)
+  migrated : Scanner.hit list;
+      (** same physical location, allocation state changed — the paper's
+          "copies are not erased before entering unallocated memory" *)
+}
+
+val diff : before:snapshot -> after:snapshot -> delta
+(** Compare two snapshots by (label, address) — how Section 3.2 reads its
+    figures: which copies appeared with the connections, which sank into
+    free memory when they closed. *)

@@ -1,0 +1,118 @@
+open Memguard_kernel
+open Memguard_vmm
+module Bytes_util = Memguard_util.Bytes_util
+module Rsa = Memguard_crypto.Rsa
+
+type location =
+  | Allocated_anon of int list
+  | Allocated_page_cache of { ino : int; index : int }
+  | Allocated_kernel
+  | Unallocated
+
+type hit = { label : string; addr : int; pfn : int; location : location }
+
+let is_allocated loc = match loc with Unallocated -> false | _ -> true
+
+let locate k ~pfn =
+  let page = Phys_mem.page (Kernel.mem k) pfn in
+  match page.Page.owner with
+  | Page.Free -> Unallocated
+  | Page.Anon -> Allocated_anon (Kernel.frame_owners k ~pfn)
+  | Page.Page_cache { ino; index } -> Allocated_page_cache { ino; index }
+  | Page.Kernel -> Allocated_kernel
+
+let scan k ~patterns =
+  let mem = Kernel.mem k in
+  let raw = Phys_mem.raw mem in
+  let ps = Phys_mem.page_size mem in
+  List.concat_map
+    (fun (label, needle) ->
+      if needle = "" then invalid_arg "Scanner.scan: empty pattern";
+      List.map
+        (fun addr ->
+          let pfn = addr / ps in
+          { label; addr; pfn; location = locate k ~pfn })
+        (Bytes_util.find_all ~needle raw))
+    patterns
+  |> List.sort (fun a b -> compare (a.addr, a.label) (b.addr, b.label))
+
+let scan_swap k ~patterns =
+  match Kernel.swap k with
+  | None -> []
+  | Some sw ->
+    let raw = Swap.raw sw in
+    List.concat_map
+      (fun (label, needle) ->
+        if needle = "" then invalid_arg "Scanner.scan_swap: empty pattern";
+        List.map (fun off -> (label, off)) (Bytes_util.find_all ~needle raw))
+      patterns
+    |> List.sort compare
+
+let key_patterns ?pem priv =
+  let base =
+    [ ("d", Rsa.pattern_d priv); ("p", Rsa.pattern_p priv); ("q", Rsa.pattern_q priv) ]
+  in
+  match pem with Some text -> base @ [ ("pem", text) ] | None -> base
+
+let pp_location fmt loc =
+  match loc with
+  | Allocated_anon [] -> Format.pp_print_string fmt "allocated(kernel-only anon)"
+  | Allocated_anon pids ->
+    Format.fprintf fmt "allocated(pids:%s)" (String.concat "," (List.map string_of_int pids))
+  | Allocated_page_cache { ino; index } -> Format.fprintf fmt "pagecache(ino=%d,idx=%d)" ino index
+  | Allocated_kernel -> Format.pp_print_string fmt "allocated(kernel)"
+  | Unallocated -> Format.pp_print_string fmt "unallocated"
+
+let pp_hit fmt h =
+  Format.fprintf fmt "%s at %#x (pfn %d) in %a" h.label h.addr h.pfn pp_location h.location
+
+type detailed_hit = { base : hit; matched_bytes : int; full : bool }
+
+let scan_detailed k ~patterns ?(min_bytes = 20) () =
+  let mem = Kernel.mem k in
+  let raw = Phys_mem.raw mem in
+  let size = Bytes.length raw in
+  let ps = Phys_mem.page_size mem in
+  List.concat_map
+    (fun (label, needle) ->
+      let n = String.length needle in
+      if n < 4 then invalid_arg "Scanner.scan_detailed: pattern shorter than the 4-byte anchor";
+      let anchor = String.sub needle 0 4 in
+      List.filter_map
+        (fun addr ->
+          (* extend the match as far as it goes *)
+          let rec extend i =
+            if i >= n || addr + i >= size then i
+            else if Bytes.get raw (addr + i) = needle.[i] then extend (i + 1)
+            else i
+          in
+          let matched = extend 4 in
+          let full = matched = n in
+          if full || matched >= min_bytes then
+            let pfn = addr / ps in
+            Some { base = { label; addr; pfn; location = locate k ~pfn }; matched_bytes = matched;
+                   full }
+          else None)
+        (Bytes_util.find_all ~needle:anchor raw))
+    patterns
+  |> List.sort (fun a b -> compare (a.base.addr, a.base.label) (b.base.addr, b.base.label))
+
+let render_proc_output k ~patterns =
+  let hits = scan_detailed k ~patterns () in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Request recieved\n" (* sic — faithful to the LKM *);
+  List.iter
+    (fun h ->
+      let kind = if h.full then "Full" else "Partial" in
+      let procs =
+        match h.base.location with
+        | Allocated_anon [] -> " 0"
+        | Allocated_anon pids -> String.concat "" (List.map (Printf.sprintf " %u") pids)
+        | Allocated_page_cache _ | Allocated_kernel -> " 0"
+        | Unallocated -> " none"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s match found for %s of size %u bytes at: %09u, in page: %06u, processes:%s\n"
+           kind h.base.label h.matched_bytes h.base.addr h.base.pfn procs))
+    hits;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/ssl/sim_bn.ml: Bn Kernel Memguard_bignum Memguard_kernel String

@@ -1,0 +1,1 @@
+lib/ssl/sim_bn.mli: Kernel Memguard_bignum Memguard_kernel Proc

@@ -1,0 +1,1 @@
+lib/ssl/sim_dsa.ml: Kernel Memguard_crypto Memguard_kernel Option Sim_bn

@@ -1,0 +1,1 @@
+lib/ssl/sim_dsa.mli: Bn Kernel Memguard_bignum Memguard_crypto Memguard_kernel Memguard_util Proc Sim_bn

@@ -1,0 +1,1 @@
+lib/ssl/sim_rsa.ml: Bn Hashtbl Kernel List Memguard_bignum Memguard_crypto Memguard_kernel Option Proc Sim_bn

@@ -1,0 +1,1 @@
+lib/ssl/sim_rsa.mli: Bn Hashtbl Kernel Memguard_bignum Memguard_crypto Memguard_kernel Proc Sim_bn

@@ -1,0 +1,1 @@
+lib/ssl/ssl.ml: Kernel Memguard_crypto Memguard_kernel Sim_dsa Sim_rsa String

@@ -1,0 +1,1 @@
+lib/ssl/ssl.mli: Kernel Memguard_crypto Memguard_kernel Proc Sim_dsa Sim_rsa

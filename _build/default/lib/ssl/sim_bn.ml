@@ -1,0 +1,34 @@
+open Memguard_kernel
+open Memguard_bignum
+
+type t = { mutable data : int; mutable size : int; mutable static_data : bool }
+
+let bytes_of bn =
+  if Bn.sign bn < 0 then invalid_arg "Sim_bn: negative value";
+  let s = Bn.to_bytes_be bn in
+  if s = "" then "\000" else s
+
+let alloc k proc bn =
+  let payload = bytes_of bn in
+  let size = String.length payload in
+  let data = Kernel.malloc k proc size in
+  Kernel.write_mem k proc ~addr:data payload;
+  { data; size; static_data = false }
+
+let value k proc t =
+  Bn.of_bytes_be (Kernel.read_mem k proc ~addr:t.data ~len:t.size)
+
+let store k proc t bn =
+  let payload = bytes_of bn in
+  if String.length payload > t.size then invalid_arg "Sim_bn.store: value too large";
+  Kernel.write_mem k proc ~addr:t.data (Bn.to_bytes_be_pad bn t.size)
+
+let clear_free k proc t =
+  if not t.static_data then begin
+    Kernel.zero_mem k proc ~addr:t.data ~len:t.size;
+    Kernel.free k proc t.data
+  end
+
+let free_insecure k proc t = if not t.static_data then Kernel.free k proc t.data
+
+let pattern k proc t = Kernel.read_mem k proc ~addr:t.data ~len:t.size

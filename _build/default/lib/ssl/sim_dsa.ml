@@ -1,0 +1,40 @@
+open Memguard_kernel
+module Dsa = Memguard_crypto.Dsa
+
+type t = {
+  pub : Dsa.public;
+  x : Sim_bn.t;
+  mutable aligned_region : int option;
+}
+
+let of_priv k proc (priv : Dsa.priv) =
+  { pub = Dsa.public_of_priv priv; x = Sim_bn.alloc k proc priv.Dsa.x; aligned_region = None }
+
+let recover_priv k proc t =
+  let x = Sim_bn.value k proc t.x in
+  { Dsa.params = t.pub.Dsa.params; x; y = t.pub.Dsa.y }
+
+let sign rng k proc t m = Dsa.sign rng (recover_priv k proc t) m
+
+let memory_align k proc t =
+  if t.aligned_region = None then begin
+    let region = Kernel.memalign k proc ~bytes:t.x.Sim_bn.size in
+    let region_size = Option.get (Kernel.alloc_size k proc region) in
+    Kernel.mlock k proc ~addr:region ~len:region_size;
+    let payload = Kernel.read_mem k proc ~addr:t.x.Sim_bn.data ~len:t.x.Sim_bn.size in
+    Kernel.write_mem k proc ~addr:region payload;
+    Kernel.zero_mem k proc ~addr:t.x.Sim_bn.data ~len:t.x.Sim_bn.size;
+    Kernel.free k proc t.x.Sim_bn.data;
+    t.x.Sim_bn.data <- region;
+    t.x.Sim_bn.static_data <- true;
+    t.aligned_region <- Some region
+  end
+
+let clear_free k proc t =
+  match t.aligned_region with
+  | Some region ->
+    let size = Option.get (Kernel.alloc_size k proc region) in
+    Kernel.zero_mem k proc ~addr:region ~len:size;
+    Kernel.free k proc region;
+    t.aligned_region <- None
+  | None -> Sim_bn.clear_free k proc t.x

@@ -1,0 +1,26 @@
+(** The DSA analogue of {!Sim_rsa}: the secret exponent [x] lives in
+    simulated process memory and can be consolidated into an mlocked,
+    page-aligned region shared copy-on-write — demonstrating that the
+    paper's countermeasures are not RSA-specific. *)
+
+open Memguard_kernel
+open Memguard_bignum
+
+type t = {
+  pub : Memguard_crypto.Dsa.public;
+  x : Sim_bn.t;  (** the only secret *)
+  mutable aligned_region : int option;
+}
+
+val of_priv : Kernel.t -> Proc.t -> Memguard_crypto.Dsa.priv -> t
+
+val sign : Memguard_util.Prng.t -> Kernel.t -> Proc.t -> t -> Bn.t -> Bn.t * Bn.t
+(** Sign a message representative, reading [x] out of simulated memory. *)
+
+val memory_align : Kernel.t -> Proc.t -> t -> unit
+(** [RSA_memory_align]'s sibling ([DSA_memory_align] in the paper's general
+    method): move [x] to an mlocked aligned page, zeroize the original. *)
+
+val clear_free : Kernel.t -> Proc.t -> t -> unit
+
+val recover_priv : Kernel.t -> Proc.t -> t -> Memguard_crypto.Dsa.priv

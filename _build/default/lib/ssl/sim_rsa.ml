@@ -1,0 +1,138 @@
+open Memguard_kernel
+open Memguard_bignum
+module Rsa = Memguard_crypto.Rsa
+
+type t = {
+  pub : Rsa.public;
+  d : Sim_bn.t;
+  p : Sim_bn.t;
+  q : Sim_bn.t;
+  dp : Sim_bn.t;
+  dq : Sim_bn.t;
+  qinv : Sim_bn.t;
+  mutable flag_cache_private : bool;
+  mont : (int, Sim_bn.t * Sim_bn.t) Hashtbl.t;
+  mutable aligned_region : int option;
+}
+
+let of_priv k proc (priv : Rsa.priv) =
+  { pub = Rsa.public_of_priv priv;
+    d = Sim_bn.alloc k proc priv.Rsa.d;
+    p = Sim_bn.alloc k proc priv.Rsa.p;
+    q = Sim_bn.alloc k proc priv.Rsa.q;
+    dp = Sim_bn.alloc k proc priv.Rsa.dp;
+    dq = Sim_bn.alloc k proc priv.Rsa.dq;
+    qinv = Sim_bn.alloc k proc priv.Rsa.qinv;
+    flag_cache_private = true;
+    mont = Hashtbl.create 4;
+    aligned_region = None
+  }
+
+let recover_priv k proc t =
+  let v b = Sim_bn.value k proc b in
+  let p = v t.p and q = v t.q in
+  { Rsa.n = t.pub.Rsa.n;
+    e = t.pub.Rsa.e;
+    d = v t.d;
+    p;
+    q;
+    dp = v t.dp;
+    dq = v t.dq;
+    qinv = v t.qinv
+  }
+
+let populate_mont_cache k (proc : Proc.t) t =
+  (* BN_MONT_CTX_set copies the modulus (p, q) into the context, in the
+     heap of whichever process performs the operation *)
+  if not (Hashtbl.mem t.mont proc.Proc.pid) then begin
+    let mp = Sim_bn.alloc k proc (Sim_bn.value k proc t.p) in
+    let mq = Sim_bn.alloc k proc (Sim_bn.value k proc t.q) in
+    Hashtbl.replace t.mont proc.Proc.pid (mp, mq)
+  end
+
+let mont_cache_size t = Hashtbl.length t.mont
+
+let private_op k proc t c =
+  if Bn.sign c < 0 || Bn.compare c t.pub.Rsa.n >= 0 then
+    invalid_arg "Sim_rsa.private_op: input out of range";
+  if t.flag_cache_private then populate_mont_cache k proc t;
+  let p = Sim_bn.value k proc t.p in
+  let q = Sim_bn.value k proc t.q in
+  let dp = Sim_bn.value k proc t.dp in
+  let dq = Sim_bn.value k proc t.dq in
+  let qinv = Sim_bn.value k proc t.qinv in
+  let m1 = Bn.mod_pow ~base:c ~exp:dp ~modulus:p in
+  let m2 = Bn.mod_pow ~base:c ~exp:dq ~modulus:q in
+  let h = Bn.rem (Bn.mul qinv (Bn.sub m1 m2)) p in
+  let result = Bn.add m2 (Bn.mul h q) in
+  (* BN_CTX temporaries: reduced intermediates (not key parts) that are
+     freed WITHOUT zeroing — realistic allocator churn in the heap *)
+  let t1 = Sim_bn.alloc k proc m1 in
+  let t2 = Sim_bn.alloc k proc m2 in
+  let t3 = Sim_bn.alloc k proc (Bn.abs h) in
+  Sim_bn.free_insecure k proc t3;
+  Sim_bn.free_insecure k proc t2;
+  Sim_bn.free_insecure k proc t1;
+  result
+
+let public_op t m = Rsa.encrypt_raw t.pub m
+
+let all_parts t = [ t.d; t.p; t.q; t.dp; t.dq; t.qinv ]
+
+let memory_align k proc t =
+  if t.aligned_region = None then begin
+    let total = List.fold_left (fun acc (b : Sim_bn.t) -> acc + b.Sim_bn.size) 0 (all_parts t) in
+    (* posix_memalign: whole pages, page-aligned *)
+    let region = Kernel.memalign k proc ~bytes:total in
+    let region_size = Option.get (Kernel.alloc_size k proc region) in
+    (* mlock: the key must never reach swap *)
+    Kernel.mlock k proc ~addr:region ~len:region_size;
+    let cursor = ref region in
+    List.iter
+      (fun (b : Sim_bn.t) ->
+        let payload = Kernel.read_mem k proc ~addr:b.Sim_bn.data ~len:b.Sim_bn.size in
+        Kernel.write_mem k proc ~addr:!cursor payload;
+        (* zero and free the original location *)
+        Kernel.zero_mem k proc ~addr:b.Sim_bn.data ~len:b.Sim_bn.size;
+        Kernel.free k proc b.Sim_bn.data;
+        b.Sim_bn.data <- !cursor;
+        b.Sim_bn.static_data <- true;
+        cursor := !cursor + b.Sim_bn.size)
+      (all_parts t);
+    (* drop the caller's Montgomery cache and prevent repopulation *)
+    (match Hashtbl.find_opt t.mont proc.Proc.pid with
+     | Some (mp, mq) ->
+       Sim_bn.clear_free k proc mp;
+       Sim_bn.clear_free k proc mq;
+       Hashtbl.remove t.mont proc.Proc.pid
+     | None -> ());
+    t.flag_cache_private <- false;
+    t.aligned_region <- Some region
+  end
+
+let drop_cache ~secure k (proc : Proc.t) t =
+  let drop m = if secure then Sim_bn.clear_free k proc m else Sim_bn.free_insecure k proc m in
+  match Hashtbl.find_opt t.mont proc.Proc.pid with
+  | Some (mp, mq) ->
+    drop mp;
+    drop mq;
+    Hashtbl.remove t.mont proc.Proc.pid
+  | None -> ()
+
+let clear_free k proc t =
+  drop_cache ~secure:true k proc t;
+  (match t.aligned_region with
+   | Some region ->
+     let size = Option.get (Kernel.alloc_size k proc region) in
+     Kernel.zero_mem k proc ~addr:region ~len:size;
+     Kernel.free k proc region;
+     t.aligned_region <- None
+   | None -> List.iter (Sim_bn.clear_free k proc) (all_parts t))
+
+let free_insecure k proc t =
+  drop_cache ~secure:false k proc t;
+  match t.aligned_region with
+  | Some region ->
+    Kernel.free k proc region;
+    t.aligned_region <- None
+  | None -> List.iter (Sim_bn.free_insecure k proc) (all_parts t)

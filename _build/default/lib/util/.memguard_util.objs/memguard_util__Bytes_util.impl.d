@@ -1,0 +1,1 @@
+lib/util/bytes_util.ml: Array Buffer Bytes Char List Printf String

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through a [Prng.t] so that every
+    experiment is reproducible bit-for-bit from its seed.  The generator is
+    splitmix64 (Steele, Lea & Flood 2014): tiny state, good statistical
+    quality, and trivially splittable for independent sub-streams. *)
+
+type t
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create ~seed:(Int64.of_int seed)]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (the two then evolve identically). *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** 30 uniformly random bits as a non-negative [int]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]]. Requires [lo <= hi]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val byte : t -> char
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] uniformly random bytes. *)
+
+val fill_bytes : t -> bytes -> pos:int -> len:int -> unit
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

@@ -1,0 +1,1 @@
+lib/vmm/buddy.ml: Array Format Hashtbl Int List Option Page Phys_mem Printf Set

@@ -1,0 +1,1 @@
+lib/vmm/buddy.mli: Phys_mem

@@ -1,0 +1,1 @@
+lib/vmm/phys_mem.ml: Array Bytes Memguard_util Page String

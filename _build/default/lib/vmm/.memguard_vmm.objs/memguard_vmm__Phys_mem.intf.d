@@ -1,0 +1,1 @@
+lib/vmm/phys_mem.mli: Page

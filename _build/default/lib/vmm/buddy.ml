@@ -1,0 +1,187 @@
+module Iset = Set.Make (Int)
+
+let max_order = 10
+
+type t = {
+  mem : Phys_mem.t;
+  free_lists : Iset.t array;  (* indexed by order; elements are base pfns *)
+  allocated : (int, int) Hashtbl.t;  (* base pfn -> order *)
+  mutable hot : int list;  (* LIFO of recently freed single pages *)
+  mutable hot_members : Iset.t;  (* same contents, for membership tests *)
+  mutable zero_on_free : bool;
+  mutable free_count : int;
+}
+
+let create ?(zero_on_free = false) mem =
+  let n = Phys_mem.num_pages mem in
+  let t =
+    { mem;
+      free_lists = Array.make (max_order + 1) Iset.empty;
+      allocated = Hashtbl.create 64;
+      hot = [];
+      hot_members = Iset.empty;
+      zero_on_free;
+      free_count = n
+    }
+  in
+  (* carve the whole of memory into the largest aligned blocks *)
+  let rec seed pfn remaining order =
+    if remaining = 0 then ()
+    else begin
+      let size = 1 lsl order in
+      if size <= remaining && pfn land (size - 1) = 0 then begin
+        t.free_lists.(order) <- Iset.add pfn t.free_lists.(order);
+        seed (pfn + size) (remaining - size) order
+      end
+      else seed pfn remaining (order - 1)
+    end
+  in
+  seed 0 n max_order;
+  t
+
+let zero_on_free t = t.zero_on_free
+let set_zero_on_free t v = t.zero_on_free <- v
+
+let mark_allocated t pfn order =
+  Hashtbl.replace t.allocated pfn order;
+  for i = pfn to pfn + (1 lsl order) - 1 do
+    let p = Phys_mem.page t.mem i in
+    p.Page.owner <- Page.Kernel;
+    p.Page.refcount <- 1
+  done;
+  t.free_count <- t.free_count - (1 lsl order)
+
+(* insert a block into the per-order sets, coalescing with buddies *)
+let rec insert_coalescing t pfn order =
+  if order >= max_order then t.free_lists.(order) <- Iset.add pfn t.free_lists.(order)
+  else begin
+    let buddy = pfn lxor (1 lsl order) in
+    if Iset.mem buddy t.free_lists.(order) then begin
+      t.free_lists.(order) <- Iset.remove buddy t.free_lists.(order);
+      insert_coalescing t (min pfn buddy) (order + 1)
+    end
+    else t.free_lists.(order) <- Iset.add pfn t.free_lists.(order)
+  end
+
+let drain_hot t =
+  List.iter (fun pfn -> insert_coalescing t pfn 0) t.hot;
+  t.hot <- [];
+  t.hot_members <- Iset.empty
+
+let alloc_from_sets t ~order =
+  let rec find j =
+    if j > max_order then None
+    else if Iset.is_empty t.free_lists.(j) then find (j + 1)
+    else Some j
+  in
+  match find order with
+  | None -> None
+  | Some j ->
+    let pfn = Iset.min_elt t.free_lists.(j) in
+    t.free_lists.(j) <- Iset.remove pfn t.free_lists.(j);
+    (* split down to the requested order, parking the upper halves *)
+    let rec split cur =
+      if cur > order then begin
+        let half = cur - 1 in
+        t.free_lists.(half) <- Iset.add (pfn + (1 lsl half)) t.free_lists.(half);
+        split half
+      end
+    in
+    split j;
+    Some pfn
+
+let alloc t ~order =
+  if order < 0 || order > max_order then invalid_arg "Buddy.alloc: bad order";
+  let block =
+    if order = 0 then begin
+      match t.hot with
+      | pfn :: rest ->
+        t.hot <- rest;
+        t.hot_members <- Iset.remove pfn t.hot_members;
+        Some pfn
+      | [] -> alloc_from_sets t ~order:0
+    end
+    else begin
+      match alloc_from_sets t ~order with
+      | Some pfn -> Some pfn
+      | None ->
+        if t.hot <> [] then begin
+          drain_hot t;
+          alloc_from_sets t ~order
+        end
+        else None
+    end
+  in
+  Option.iter (fun pfn -> mark_allocated t pfn order) block;
+  block
+
+let alloc_page t = alloc t ~order:0
+
+let free t ~pfn ~order =
+  (match Hashtbl.find_opt t.allocated pfn with
+   | None -> invalid_arg "Buddy.free: block is not allocated (double free?)"
+   | Some o when o <> order -> invalid_arg "Buddy.free: order mismatch"
+   | Some _ -> ());
+  Hashtbl.remove t.allocated pfn;
+  for i = pfn to pfn + (1 lsl order) - 1 do
+    let p = Phys_mem.page t.mem i in
+    p.Page.owner <- Page.Free;
+    p.Page.refcount <- 0;
+    p.Page.locked <- false;
+    (* the paper's kernel patch: clear_highpage before entering free lists *)
+    if t.zero_on_free then Phys_mem.clear_frame t.mem i
+  done;
+  t.free_count <- t.free_count + (1 lsl order);
+  if order = 0 then begin
+    t.hot <- pfn :: t.hot;
+    t.hot_members <- Iset.add pfn t.hot_members
+  end
+  else insert_coalescing t pfn order
+
+let free_page t pfn = free t ~pfn ~order:0
+
+let free_pages t = t.free_count
+let allocated_pages t = Phys_mem.num_pages t.mem - t.free_count
+
+let is_free_block t ~pfn =
+  Iset.mem pfn t.hot_members || Array.exists (fun set -> Iset.mem pfn set) t.free_lists
+
+let check_invariants t =
+  let n = Phys_mem.num_pages t.mem in
+  let covered = Array.make n false in
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  let cover_free pfn order =
+    let size = 1 lsl order in
+    if pfn land (size - 1) <> 0 then fail "free block %d misaligned for order %d" pfn order;
+    if pfn + size > n then fail "free block %d overruns memory" pfn;
+    for i = pfn to min (pfn + size - 1) (n - 1) do
+      if covered.(i) then fail "page %d covered by two free blocks" i;
+      covered.(i) <- true;
+      if not (Page.is_free (Phys_mem.page t.mem i)) then
+        fail "page %d on free list but descriptor says %s" i
+          (Format.asprintf "%a" Page.pp_owner (Phys_mem.page t.mem i).Page.owner)
+    done
+  in
+  Array.iteri (fun order set -> Iset.iter (fun pfn -> cover_free pfn order) set) t.free_lists;
+  List.iter (fun pfn -> cover_free pfn 0) t.hot;
+  if List.length t.hot <> Iset.cardinal t.hot_members then
+    fail "hot list and membership set disagree";
+  Hashtbl.iter
+    (fun pfn order ->
+      let size = 1 lsl order in
+      for i = pfn to min (pfn + size - 1) (n - 1) do
+        if covered.(i) then fail "page %d both free and allocated" i;
+        covered.(i) <- true
+      done)
+    t.allocated;
+  let covered_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 covered in
+  if covered_count <> n then fail "%d pages unaccounted for" (n - covered_count);
+  let free_sum =
+    Array.to_list t.free_lists
+    |> List.mapi (fun order set -> Iset.cardinal set * (1 lsl order))
+    |> List.fold_left ( + ) 0
+  in
+  if free_sum + List.length t.hot <> t.free_count then
+    fail "free_count %d but lists hold %d" t.free_count (free_sum + List.length t.hot);
+  match !error with None -> Ok () | Some e -> Error e

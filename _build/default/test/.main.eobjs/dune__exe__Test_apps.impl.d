@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apache Fun Kernel Lazy List Memguard_apps Memguard_crypto Memguard_kernel Memguard_scan Memguard_ssl Memguard_util Option Plain_app Printf Prng Report Scanner Sshd Ssl

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Attack_stats Bytes Ext2_leak Kernel Memguard_attack Memguard_kernel Memguard_util Printf Prng Tty_dump

@@ -1,0 +1,1 @@
+test/test_bn.ml: Alcotest Bn List Memguard_bignum Memguard_util Option Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bytes_util.ml: Alcotest Bytes Bytes_util Gen List Memguard_util Prng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cipher.ml: Aes Alcotest Bytes Bytes_util Char Gen List Md5 Memguard_crypto Memguard_util Pem Printf Prng QCheck QCheck_alcotest Result Rsa Sha1 String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Experiment List Memguard Memguard_apps Memguard_attack Memguard_kernel Memguard_scan Memguard_ssl Printf Protection Report System Timeline

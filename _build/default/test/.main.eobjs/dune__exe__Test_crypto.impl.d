@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Asn1 Base64 Bn Bytes_util Char Gen Lazy List Memguard_bignum Memguard_crypto Memguard_util Pem Prng QCheck QCheck_alcotest Result Rsa String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Bytes_util Char Fs Hashtbl Kernel List Memguard_kernel Memguard_util Memguard_vmm Option Page Page_cache Phys_mem Prng Proc QCheck QCheck_alcotest String Swap

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Bytes Fun Int64 Memguard_util Prng

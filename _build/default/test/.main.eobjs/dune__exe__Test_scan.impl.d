@@ -1,0 +1,1 @@
+test/test_scan.ml: Alcotest Format Kernel List Memguard_crypto Memguard_kernel Memguard_scan Memguard_util Prng Proc Report Scanner String

@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Buddy List Memguard_util Memguard_vmm Option Page Phys_mem Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Memguard Memguard_apps Memguard_scan Memguard_util Printf Prng Protection Report System Timeline Workload

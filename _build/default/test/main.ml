@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "memguard"
+    (List.concat
+       [ Test_prng.suite;
+         Test_bytes_util.suite;
+         Test_bn.suite;
+         Test_crypto.suite;
+         Test_cipher.suite;
+         Test_dsa.suite;
+         Test_vmm.suite;
+         Test_kernel.suite;
+         Test_ssl.suite;
+         Test_scan.suite;
+         Test_scan_extra.suite;
+         Test_attack.suite;
+         Test_apps.suite;
+         Test_proto.suite;
+         Test_core.suite;
+         Test_workload.suite;
+         Test_edge.suite;
+         Test_misc_extra.suite;
+         Test_final.suite
+       ])

@@ -1,0 +1,112 @@
+open Memguard_util
+
+let test_determinism () =
+  let a = Prng.create ~seed:42L and b = Prng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create ~seed:1L and b = Prng.create ~seed:2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.next_int64 a) (Prng.next_int64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 2)
+
+let test_int_bounds () =
+  let rng = Prng.of_int 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_int_in_bounds () =
+  let rng = Prng.of_int 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_int_covers_range () =
+  let rng = Prng.of_int 3 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int rng 10) <- true
+  done;
+  Alcotest.(check bool) "all 10 values seen" true (Array.for_all Fun.id seen)
+
+let test_split_independent () =
+  let a = Prng.of_int 5 in
+  let b = Prng.split a in
+  let va = Prng.next_int64 a and vb = Prng.next_int64 b in
+  Alcotest.(check bool) "split streams differ" true (not (Int64.equal va vb))
+
+let test_copy () =
+  let a = Prng.of_int 11 in
+  let _ = Prng.next_int64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copies evolve identically" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_bytes_len () =
+  let rng = Prng.of_int 13 in
+  Alcotest.(check int) "length" 37 (Bytes.length (Prng.bytes rng 37))
+
+let test_shuffle_permutation () =
+  let rng = Prng.of_int 17 in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Prng.shuffle rng b;
+  Array.sort compare b;
+  Alcotest.(check bool) "shuffle is a permutation" true (a = b)
+
+let test_float_bounds () =
+  let rng = Prng.of_int 19 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (v >= 0. && v < 3.5)
+  done
+
+let suite =
+  [ ( "prng",
+      [ Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seeds diverge" `Quick test_different_seeds;
+        Alcotest.test_case "int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+        Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+        Alcotest.test_case "split independent" `Quick test_split_independent;
+        Alcotest.test_case "copy" `Quick test_copy;
+        Alcotest.test_case "bytes length" `Quick test_bytes_len;
+        Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+        Alcotest.test_case "float bounds" `Quick test_float_bounds
+      ] )
+  ]
+
+let test_pick () =
+  let rng = Prng.of_int 23 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (Array.mem (Prng.pick rng arr) arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty array") (fun () ->
+      ignore (Prng.pick rng ([||] : int array)))
+
+let test_int_invalid_bound () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int (Prng.of_int 1) 0))
+
+let test_fill_bytes_range () =
+  let rng = Prng.of_int 29 in
+  let b = Bytes.make 10 'x' in
+  Prng.fill_bytes rng b ~pos:3 ~len:4;
+  Alcotest.(check string) "outside untouched (prefix)" "xxx" (Bytes.sub_string b 0 3);
+  Alcotest.(check string) "outside untouched (suffix)" "xxx" (Bytes.sub_string b 7 3)
+
+let extra =
+  ( "prng_extra",
+    [ Alcotest.test_case "pick" `Quick test_pick;
+      Alcotest.test_case "invalid bound" `Quick test_int_invalid_bound;
+      Alcotest.test_case "fill_bytes range" `Quick test_fill_bytes_range
+    ] )
+
+let suite = suite @ [ extra ]

@@ -1,0 +1,215 @@
+open Memguard_vmm
+open Memguard_util
+
+let make_mem ?(pages = 64) () = Phys_mem.create ~num_pages:pages ()
+
+let check_inv buddy =
+  match Buddy.check_invariants buddy with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("buddy invariant: " ^ e)
+
+(* ---- phys_mem ---- *)
+
+let test_mem_shape () =
+  let m = make_mem () in
+  Alcotest.(check int) "page size" 4096 (Phys_mem.page_size m);
+  Alcotest.(check int) "num pages" 64 (Phys_mem.num_pages m);
+  Alcotest.(check int) "size" (64 * 4096) (Phys_mem.size_bytes m)
+
+let test_mem_power_of_two () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Phys_mem.create: num_pages must be a power of two")
+    (fun () -> ignore (Phys_mem.create ~num_pages:48 ()))
+
+let test_mem_rw () =
+  let m = make_mem () in
+  Phys_mem.write m ~addr:100 "hello";
+  Alcotest.(check string) "read back" "hello" (Phys_mem.read m ~addr:100 ~len:5);
+  Alcotest.(check string) "zero elsewhere" "\000\000" (Phys_mem.read m ~addr:50 ~len:2)
+
+let test_mem_bounds () =
+  let m = make_mem () in
+  Alcotest.check_raises "read oob" (Invalid_argument "Phys_mem.read: bad range") (fun () ->
+      ignore (Phys_mem.read m ~addr:(Phys_mem.size_bytes m - 2) ~len:5));
+  Alcotest.check_raises "write oob" (Invalid_argument "Phys_mem.write: bad range") (fun () ->
+      Phys_mem.write m ~addr:(Phys_mem.size_bytes m - 2) "hello")
+
+let test_mem_blit_clear () =
+  let m = make_mem () in
+  Phys_mem.write m ~addr:(Phys_mem.addr_of_pfn m 3) "secret";
+  Phys_mem.blit_frame m ~src_pfn:3 ~dst_pfn:7;
+  Alcotest.(check string) "copied" "secret" (Phys_mem.read m ~addr:(Phys_mem.addr_of_pfn m 7) ~len:6);
+  Phys_mem.clear_frame m 3;
+  Alcotest.(check bool) "cleared" true (Phys_mem.frame_is_zero m 3);
+  Alcotest.(check bool) "copy untouched" false (Phys_mem.frame_is_zero m 7)
+
+let test_mem_pfn_addr () =
+  let m = make_mem () in
+  Alcotest.(check int) "addr of pfn" (5 * 4096) (Phys_mem.addr_of_pfn m 5);
+  Alcotest.(check int) "pfn of addr" 5 (Phys_mem.pfn_of_addr m ((5 * 4096) + 123))
+
+(* ---- buddy ---- *)
+
+let test_buddy_initial_state () =
+  let m = make_mem () in
+  let b = Buddy.create m in
+  Alcotest.(check int) "all free" 64 (Buddy.free_pages b);
+  Alcotest.(check int) "none allocated" 0 (Buddy.allocated_pages b);
+  check_inv b
+
+let test_buddy_alloc_free_cycle () =
+  let m = make_mem () in
+  let b = Buddy.create m in
+  let pfn = Option.get (Buddy.alloc_page b) in
+  Alcotest.(check int) "one allocated" 1 (Buddy.allocated_pages b);
+  Alcotest.(check bool) "descriptor not free" false (Page.is_free (Phys_mem.page m pfn));
+  check_inv b;
+  Buddy.free_page b pfn;
+  Alcotest.(check int) "all free again" 64 (Buddy.free_pages b);
+  Alcotest.(check bool) "descriptor free" true (Page.is_free (Phys_mem.page m pfn));
+  check_inv b
+
+let test_buddy_exhaustion () =
+  let m = make_mem ~pages:8 () in
+  let b = Buddy.create m in
+  for _ = 1 to 8 do
+    Alcotest.(check bool) "alloc ok" true (Buddy.alloc_page b <> None)
+  done;
+  Alcotest.(check bool) "exhausted" true (Buddy.alloc_page b = None);
+  check_inv b
+
+let test_buddy_multi_order () =
+  let m = make_mem () in
+  let b = Buddy.create m in
+  let blk = Option.get (Buddy.alloc b ~order:3) in
+  Alcotest.(check int) "8 pages gone" 56 (Buddy.free_pages b);
+  Alcotest.(check int) "aligned" 0 (blk land 7);
+  check_inv b;
+  Buddy.free b ~pfn:blk ~order:3;
+  Alcotest.(check int) "restored" 64 (Buddy.free_pages b);
+  check_inv b
+
+let test_buddy_coalescing () =
+  let m = make_mem ~pages:16 () in
+  let b = Buddy.create m in
+  (* fragment completely, then free everything: must coalesce back *)
+  let pfns = List.init 16 (fun _ -> Option.get (Buddy.alloc_page b)) in
+  check_inv b;
+  List.iter (Buddy.free_page b) pfns;
+  check_inv b;
+  (* after full coalescing a 16-page block must be allocatable *)
+  Alcotest.(check bool) "big block available" true (Buddy.alloc b ~order:4 <> None)
+
+let test_buddy_double_free () =
+  let m = make_mem () in
+  let b = Buddy.create m in
+  let pfn = Option.get (Buddy.alloc_page b) in
+  Buddy.free_page b pfn;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Buddy.free: block is not allocated (double free?)")
+    (fun () -> Buddy.free_page b pfn)
+
+let test_buddy_order_mismatch () =
+  let m = make_mem () in
+  let b = Buddy.create m in
+  let pfn = Option.get (Buddy.alloc b ~order:2) in
+  Alcotest.check_raises "order mismatch" (Invalid_argument "Buddy.free: order mismatch")
+    (fun () -> Buddy.free b ~pfn ~order:1)
+
+let test_buddy_no_zero_on_free_leaks () =
+  let m = make_mem () in
+  let b = Buddy.create m in
+  let pfn = Option.get (Buddy.alloc_page b) in
+  Phys_mem.write m ~addr:(Phys_mem.addr_of_pfn m pfn) "KEYMATERIAL";
+  Buddy.free_page b pfn;
+  (* vanilla kernel: the stale data survives into the free page *)
+  Alcotest.(check string) "data survives free" "KEYMATERIAL"
+    (Phys_mem.read m ~addr:(Phys_mem.addr_of_pfn m pfn) ~len:11);
+  (* and reallocation hands it out uncleared *)
+  let pfn2 = Option.get (Buddy.alloc_page b) in
+  Alcotest.(check int) "same page reused" pfn pfn2;
+  Alcotest.(check string) "handed out stale" "KEYMATERIAL"
+    (Phys_mem.read m ~addr:(Phys_mem.addr_of_pfn m pfn2) ~len:11)
+
+let test_buddy_zero_on_free_clears () =
+  let m = make_mem () in
+  let b = Buddy.create ~zero_on_free:true m in
+  let pfn = Option.get (Buddy.alloc_page b) in
+  Phys_mem.write m ~addr:(Phys_mem.addr_of_pfn m pfn) "KEYMATERIAL";
+  Buddy.free_page b pfn;
+  Alcotest.(check bool) "frame cleared at free" true (Phys_mem.frame_is_zero m pfn)
+
+let test_buddy_zero_on_free_toggle () =
+  let m = make_mem () in
+  let b = Buddy.create m in
+  Alcotest.(check bool) "off by default" false (Buddy.zero_on_free b);
+  Buddy.set_zero_on_free b true;
+  let pfn = Option.get (Buddy.alloc_page b) in
+  Phys_mem.write m ~addr:(Phys_mem.addr_of_pfn m pfn) "X";
+  Buddy.free_page b pfn;
+  Alcotest.(check bool) "cleared after toggle" true (Phys_mem.frame_is_zero m pfn)
+
+let test_buddy_deterministic () =
+  let run () =
+    let b = Buddy.create (make_mem ()) in
+    List.init 10 (fun _ -> Option.get (Buddy.alloc_page b))
+  in
+  Alcotest.(check (list int)) "deterministic allocation order" (run ()) (run ())
+
+(* property: random alloc/free sequences keep invariants and never lose pages *)
+let prop_buddy_random_ops =
+  QCheck.Test.make ~name:"buddy invariants under random alloc/free" ~count:60
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let m = Phys_mem.create ~num_pages:128 () in
+      let b = Buddy.create ~zero_on_free:(Prng.bool rng) m in
+      let live = ref [] in
+      let ops = 200 in
+      let ok = ref true in
+      for _ = 1 to ops do
+        if Prng.bool rng || !live = [] then begin
+          let order = Prng.int rng 4 in
+          match Buddy.alloc b ~order with
+          | Some pfn -> live := (pfn, order) :: !live
+          | None -> ()
+        end
+        else begin
+          let n = List.length !live in
+          let idx = Prng.int rng n in
+          let pfn, order = List.nth !live idx in
+          live := List.filteri (fun i _ -> i <> idx) !live;
+          Buddy.free b ~pfn ~order
+        end;
+        (match Buddy.check_invariants b with Ok () -> () | Error _ -> ok := false)
+      done;
+      List.iter (fun (pfn, order) -> Buddy.free b ~pfn ~order) !live;
+      !ok
+      && Buddy.free_pages b = 128
+      && Buddy.check_invariants b = Ok ()
+      && Buddy.alloc b ~order:7 <> None)
+
+let suite =
+  [ ( "phys_mem",
+      [ Alcotest.test_case "shape" `Quick test_mem_shape;
+        Alcotest.test_case "power of two" `Quick test_mem_power_of_two;
+        Alcotest.test_case "read/write" `Quick test_mem_rw;
+        Alcotest.test_case "bounds" `Quick test_mem_bounds;
+        Alcotest.test_case "blit/clear frame" `Quick test_mem_blit_clear;
+        Alcotest.test_case "pfn/addr" `Quick test_mem_pfn_addr
+      ] );
+    ( "buddy",
+      [ Alcotest.test_case "initial state" `Quick test_buddy_initial_state;
+        Alcotest.test_case "alloc/free cycle" `Quick test_buddy_alloc_free_cycle;
+        Alcotest.test_case "exhaustion" `Quick test_buddy_exhaustion;
+        Alcotest.test_case "multi-order" `Quick test_buddy_multi_order;
+        Alcotest.test_case "coalescing" `Quick test_buddy_coalescing;
+        Alcotest.test_case "double free" `Quick test_buddy_double_free;
+        Alcotest.test_case "order mismatch" `Quick test_buddy_order_mismatch;
+        Alcotest.test_case "no zero_on_free leaks" `Quick test_buddy_no_zero_on_free_leaks;
+        Alcotest.test_case "zero_on_free clears" `Quick test_buddy_zero_on_free_clears;
+        Alcotest.test_case "zero_on_free toggle" `Quick test_buddy_zero_on_free_toggle;
+        Alcotest.test_case "deterministic" `Quick test_buddy_deterministic;
+        QCheck_alcotest.to_alcotest prop_buddy_random_ops
+      ] )
+  ]
