@@ -164,6 +164,75 @@ let figures () =
   ablations ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 1b: scan-engine comparison (--json writes BENCH_scan.json)     *)
+(* ------------------------------------------------------------------ *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  ignore (f ());
+  Unix.gettimeofday () -. t0
+
+let time_mean ?(reps = 3) f =
+  ignore (f ()) (* warm-up *);
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let scan_engine_bench () =
+  section "Scan engine — seed multipass vs single pass vs incremental (4096 pages)";
+  let num_pages = 4096 in
+  let sys = System.create ~num_pages ~seed:11 ~level:Protection.Unprotected () in
+  let k = System.kernel sys in
+  let patterns = System.patterns sys in
+  (* cold full sweeps of an idle machine *)
+  let t_multipass = time_mean (fun () -> Scanner.scan_multipass k ~patterns) in
+  let t_single = time_mean (fun () -> Scanner.scan k ~patterns) in
+  (* steady-state incremental re-scan (nothing dirty between scans) *)
+  let cache = Memguard_scan.Scan_cache.create k ~patterns in
+  ignore (Memguard_scan.Scan_cache.scan cache);
+  let t_incr_idle = time_mean ~reps:10 (fun () -> Memguard_scan.Scan_cache.scan cache) in
+  (* the Figure 5/6 timeline workload: 30 snapshots under live traffic *)
+  let timeline scan_mode =
+    time_once (fun () -> Experiment.timeline ~num_pages ~scan_mode Experiment.Ssh)
+  in
+  let t_timeline_seed = timeline System.Multipass in
+  let t_timeline_full = timeline System.Full in
+  let t_timeline_incr = timeline System.Incremental in
+  let speedup_single = t_multipass /. t_single in
+  let speedup_timeline = t_timeline_seed /. t_timeline_incr in
+  Format.printf "%-44s %12.6f s@." "full scan, seed (one pass per pattern)" t_multipass;
+  Format.printf "%-44s %12.6f s  (%.2fx)@." "full scan, single-pass multi-pattern" t_single
+    speedup_single;
+  Format.printf "%-44s %12.6f s@." "incremental re-scan, idle machine" t_incr_idle;
+  Format.printf "%-44s %12.6f s@." "fig 5/6 timeline, seed re-scan per tick" t_timeline_seed;
+  Format.printf "%-44s %12.6f s@." "fig 5/6 timeline, single-pass re-scan" t_timeline_full;
+  Format.printf "%-44s %12.6f s  (%.2fx vs seed)@." "fig 5/6 timeline, incremental"
+    t_timeline_incr speedup_timeline;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"num_pages\": %d,\n\
+      \  \"patterns\": %d,\n\
+      \  \"full_scan_multipass_s\": %.6f,\n\
+      \  \"full_scan_single_pass_s\": %.6f,\n\
+      \  \"incremental_rescan_idle_s\": %.6f,\n\
+      \  \"timeline_seed_multipass_s\": %.6f,\n\
+      \  \"timeline_full_rescan_s\": %.6f,\n\
+      \  \"timeline_incremental_s\": %.6f,\n\
+      \  \"speedup_single_pass_vs_multipass\": %.2f,\n\
+      \  \"speedup_timeline\": %.2f\n\
+       }\n"
+      num_pages (List.length patterns) t_multipass t_single t_incr_idle t_timeline_seed
+      t_timeline_full t_timeline_incr speedup_single speedup_timeline
+  in
+  let oc = open_out "BENCH_scan.json" in
+  output_string oc json;
+  close_out oc;
+  Format.printf "wrote BENCH_scan.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -317,9 +386,13 @@ let () =
   let args = Array.to_list Sys.argv in
   let skip_figures = List.mem "--skip-figures" args in
   let skip_micro = List.mem "--skip-micro" args in
+  let json = List.mem "--json" args in
   Format.printf
     "memguard benchmark harness — Harrison & Xu, DSN'07 reproduction@.\
      (shapes, not absolute values, are the comparison target; see EXPERIMENTS.md)@.";
-  if not skip_figures then figures ();
-  if not skip_micro then run_micro ();
+  if json then scan_engine_bench ()
+  else begin
+    if not skip_figures then figures ();
+    if not skip_micro then run_micro ()
+  end;
   Format.printf "@.done.@."

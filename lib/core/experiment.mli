@@ -52,10 +52,15 @@ val timeline :
   ?seed:int ->
   ?key_bits:int ->
   ?churn:int ->
+  ?scan_mode:System.scan_mode ->
   server ->
   Memguard_scan.Report.snapshot list
 (** Figures 5/6 (unprotected) and 9–16 / 21–28 (one protection level each):
-    the scripted t=0..29 run, one snapshot per tick. *)
+    the scripted t=0..29 run, one snapshot per tick.  [scan_mode]
+    (default [Incremental]) uses the dirty-page scan cache for the
+    per-tick snapshots; [Full] forces a cold single-pass re-scan at every
+    tick and [Multipass] the seed behaviour of one cold pass per pattern
+    (both kept for benchmarking). *)
 
 (** {1 Section 5.2 / 6.2 — attacks before vs after} *)
 

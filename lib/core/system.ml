@@ -10,12 +10,18 @@ module Plain_app = Memguard_apps.Plain_app
 module Ext2_leak = Memguard_attack.Ext2_leak
 module Tty_dump = Memguard_attack.Tty_dump
 
+module Scan_cache = Memguard_scan.Scan_cache
+
+type scan_mode = Incremental | Full | Multipass
+
 type t = {
   kernel_ : Kernel.t;
   level_ : Protection.level;
   priv_ : Rsa.priv;
   pem_ : string;
   rng_ : Prng.t;
+  scan_mode_ : scan_mode;
+  mutable cache_ : Scan_cache.t option; (* built lazily on the first scan *)
 }
 
 let key_path = "/etc/ssl/host_key.pem"
@@ -40,7 +46,8 @@ let boot_noise kernel rng =
     Memguard_vmm.Buddy.free_page buddy frames.(i)
   done
 
-let create ?(num_pages = 8192) ?(key_bits = 256) ?(seed = 1) ?(noise = true) ~level () =
+let create ?(num_pages = 8192) ?(key_bits = 256) ?(seed = 1) ?(noise = true)
+    ?(scan_mode = Incremental) ~level () =
   let rng_ = Prng.of_int seed in
   let config =
     { Kernel.default_config with
@@ -53,7 +60,14 @@ let create ?(num_pages = 8192) ?(key_bits = 256) ?(seed = 1) ?(noise = true) ~le
   if noise then boot_noise kernel_ (Prng.split rng_);
   let priv_ = Rsa.generate (Prng.split rng_) ~bits:key_bits in
   ignore (Kernel.write_file kernel_ ~path:key_path (Rsa.pem_of_priv priv_));
-  { kernel_; level_ = level; priv_; pem_ = Rsa.pem_of_priv priv_; rng_ }
+  { kernel_;
+    level_ = level;
+    priv_;
+    pem_ = Rsa.pem_of_priv priv_;
+    rng_;
+    scan_mode_ = scan_mode;
+    cache_ = None
+  }
 
 let kernel t = t.kernel_
 let level t = t.level_
@@ -72,7 +86,20 @@ let start_plain_app t =
   Plain_app.start t.kernel_ ~key_path ~nocache:(Protection.nocache t.level_)
     (Protection.ssl_mode_plain_app t.level_)
 
-let scan t ~time = Report.of_hits ~time (Scanner.scan t.kernel_ ~patterns:(patterns t))
+let scan t ~time =
+  match t.scan_mode_ with
+  | Full -> Report.of_hits ~time (Scanner.scan t.kernel_ ~patterns:(patterns t))
+  | Multipass -> Report.of_hits ~time (Scanner.scan_multipass t.kernel_ ~patterns:(patterns t))
+  | Incremental ->
+    let cache =
+      match t.cache_ with
+      | Some c -> c
+      | None ->
+        let c = Scan_cache.create t.kernel_ ~patterns:(patterns t) in
+        t.cache_ <- Some c;
+        c
+    in
+    Report.of_hits ~time (Scan_cache.scan cache)
 
 (* Background churn between the workload and the attack: ongoing system
    activity recycles the free lists, leaving freed pages in effectively

@@ -6,6 +6,13 @@ open Memguard_kernel
 
 type t
 
+type scan_mode =
+  | Incremental  (** dirty-page cache: re-sweep only pages written since the
+                     previous scan (the default) *)
+  | Full  (** cold single-pass multi-pattern sweep on every scan *)
+  | Multipass  (** cold sweep {e per pattern} — the pre-engine baseline,
+                   kept for benchmarking *)
+
 val key_path : string
 (** ["/etc/ssl/host_key.pem"]. *)
 
@@ -14,6 +21,7 @@ val create :
   ?key_bits:int ->
   ?seed:int ->
   ?noise:bool ->
+  ?scan_mode:scan_mode ->
   level:Protection.level ->
   unit ->
   t
@@ -22,7 +30,9 @@ val create :
     1024-bit, much faster to simulate) written as a PEM file, and the
     protection level's kernel knobs applied.  [noise] (default [true])
     runs boot-time allocator churn so that later allocations scatter over
-    the whole physical range, as on a live machine. *)
+    the whole physical range, as on a live machine.  [scan_mode] (default
+    [Incremental]) selects how {!scan} sweeps memory; all three modes
+    return identical results. *)
 
 val kernel : t -> Kernel.t
 val level : t -> Protection.level
@@ -42,7 +52,10 @@ val start_plain_app : t -> Memguard_apps.Plain_app.t
 (** Start the unpatched third-party key-using application. *)
 
 val scan : t -> time:int -> Memguard_scan.Report.snapshot
-(** Run the scanner over physical memory right now. *)
+(** Run the scanner over physical memory right now.  Incremental by
+    default (see [create ?scan_mode]): only pages written since the
+    previous [scan] are re-swept, with results identical to a cold
+    {!Memguard_scan.Scanner.scan}. *)
 
 val settle : t -> unit
 (** Let background system activity churn the free lists (shuffling the

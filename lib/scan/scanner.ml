@@ -1,6 +1,7 @@
 open Memguard_kernel
 open Memguard_vmm
 module Bytes_util = Memguard_util.Bytes_util
+module Multi_search = Memguard_util.Multi_search
 module Rsa = Memguard_crypto.Rsa
 
 type location =
@@ -21,7 +22,33 @@ let locate k ~pfn =
   | Page.Page_cache { ino; index } -> Allocated_page_cache { ino; index }
   | Page.Kernel -> Allocated_kernel
 
+let compile_patterns ~who patterns =
+  let labels = Array.of_list (List.map fst patterns) in
+  let needles = Array.of_list (List.map snd patterns) in
+  Array.iter
+    (fun n -> if n = "" then invalid_arg (who ^ ": empty pattern"))
+    needles;
+  (labels, Multi_search.compile needles)
+
+let sort_hits hits =
+  List.sort (fun a b -> compare (a.addr, a.label) (b.addr, b.label)) hits
+
 let scan k ~patterns =
+  let mem = Kernel.mem k in
+  let raw = Phys_mem.raw mem in
+  let ps = Phys_mem.page_size mem in
+  let labels, ms = compile_patterns ~who:"Scanner.scan" patterns in
+  let acc = ref [] in
+  (* one sweep reports every pattern's hits at once *)
+  Multi_search.iter ms raw ~f:(fun ~pos ~pat ->
+      let pfn = pos / ps in
+      acc := { label = labels.(pat); addr = pos; pfn; location = locate k ~pfn } :: !acc);
+  sort_hits (List.rev !acc)
+
+(* The pre-engine baseline: one full sweep of RAM per pattern.  Kept as a
+   reference implementation for differential tests and for benchmarking the
+   single-pass engine against it; results are identical to [scan]. *)
+let scan_multipass k ~patterns =
   let mem = Kernel.mem k in
   let raw = Phys_mem.raw mem in
   let ps = Phys_mem.page_size mem in
@@ -34,19 +61,17 @@ let scan k ~patterns =
           { label; addr; pfn; location = locate k ~pfn })
         (Bytes_util.find_all ~needle raw))
     patterns
-  |> List.sort (fun a b -> compare (a.addr, a.label) (b.addr, b.label))
+  |> sort_hits
 
 let scan_swap k ~patterns =
   match Kernel.swap k with
   | None -> []
   | Some sw ->
     let raw = Swap.raw sw in
-    List.concat_map
-      (fun (label, needle) ->
-        if needle = "" then invalid_arg "Scanner.scan_swap: empty pattern";
-        List.map (fun off -> (label, off)) (Bytes_util.find_all ~needle raw))
-      patterns
-    |> List.sort compare
+    let labels, ms = compile_patterns ~who:"Scanner.scan_swap" patterns in
+    let acc = ref [] in
+    Multi_search.iter ms raw ~f:(fun ~pos ~pat -> acc := (labels.(pat), pos) :: !acc);
+    List.sort compare !acc
 
 let key_patterns ?pem priv =
   let base =
@@ -73,29 +98,38 @@ let scan_detailed k ~patterns ?(min_bytes = 20) () =
   let raw = Phys_mem.raw mem in
   let size = Bytes.length raw in
   let ps = Phys_mem.page_size mem in
-  List.concat_map
-    (fun (label, needle) ->
+  let labels = Array.of_list (List.map fst patterns) in
+  let needles = Array.of_list (List.map snd patterns) in
+  Array.iter
+    (fun n ->
+      if String.length n < 4 then
+        invalid_arg "Scanner.scan_detailed: pattern shorter than the 4-byte anchor")
+    needles;
+  (* one pass over the 4-byte anchors of every pattern, then extend each
+     anchor hit against its own full needle *)
+  let ms = Multi_search.compile (Array.map (fun n -> String.sub n 0 4) needles) in
+  let acc = ref [] in
+  Multi_search.iter ms raw ~f:(fun ~pos:addr ~pat ->
+      let needle = needles.(pat) in
       let n = String.length needle in
-      if n < 4 then invalid_arg "Scanner.scan_detailed: pattern shorter than the 4-byte anchor";
-      let anchor = String.sub needle 0 4 in
-      List.filter_map
-        (fun addr ->
-          (* extend the match as far as it goes *)
-          let rec extend i =
-            if i >= n || addr + i >= size then i
-            else if Bytes.get raw (addr + i) = needle.[i] then extend (i + 1)
-            else i
-          in
-          let matched = extend 4 in
-          let full = matched = n in
-          if full || matched >= min_bytes then
-            let pfn = addr / ps in
-            Some { base = { label; addr; pfn; location = locate k ~pfn }; matched_bytes = matched;
-                   full }
-          else None)
-        (Bytes_util.find_all ~needle:anchor raw))
-    patterns
-  |> List.sort (fun a b -> compare (a.base.addr, a.base.label) (b.base.addr, b.base.label))
+      let rec extend i =
+        if i >= n || addr + i >= size then i
+        else if Bytes.get raw (addr + i) = needle.[i] then extend (i + 1)
+        else i
+      in
+      let matched = extend 4 in
+      let full = matched = n in
+      if full || matched >= min_bytes then begin
+        let pfn = addr / ps in
+        acc :=
+          { base = { label = labels.(pat); addr; pfn; location = locate k ~pfn };
+            matched_bytes = matched;
+            full
+          }
+          :: !acc
+      end);
+  List.sort (fun a b -> compare (a.base.addr, a.base.label) (b.base.addr, b.base.label))
+    (List.rev !acc)
 
 let render_proc_output k ~patterns =
   let hits = scan_detailed k ~patterns () in

@@ -21,10 +21,22 @@ type hit = {
 
 val is_allocated : location -> bool
 
+val locate : Memguard_kernel.Kernel.t -> pfn:int -> location
+(** Classify a frame the way a hit on it would be classified (frame
+    metadata + rmap walk).  Used by [Scan_cache], which caches raw match
+    offsets and re-derives locations at query time. *)
+
 val scan : Memguard_kernel.Kernel.t -> patterns:(string * string) list -> hit list
-(** [scan k ~patterns] sweeps all of physical memory.  [patterns] are
+(** [scan k ~patterns] sweeps all of physical memory — one single
+    multi-pattern pass, however many patterns there are.  [patterns] are
     [(label, needle)] pairs; needles must be non-empty.  Hits are returned
-    in ascending address order (per label, then merged). *)
+    sorted by [(addr, label)]. *)
+
+val scan_multipass :
+  Memguard_kernel.Kernel.t -> patterns:(string * string) list -> hit list
+(** Reference baseline: one full sweep of physical memory {e per pattern}
+    (the pre-engine implementation).  Returns exactly the same hits as
+    {!scan}; kept for differential testing and benchmarking. *)
 
 val scan_swap : Memguard_kernel.Kernel.t -> patterns:(string * string) list -> (string * int) list
 (** Sweep the swap device (if any): [(label, byte offset)] of each match —

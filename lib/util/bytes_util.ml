@@ -98,9 +98,21 @@ let count ?(from = 0) ?until ~needle haystack =
 
 let zeroize b ~pos ~len = Bytes.fill b pos len '\000'
 
+(* Word-wise: this backs [Phys_mem.frame_is_zero], which the zero-on-free
+   audit calls on every frame, so it runs over whole memories. *)
 let is_zero b ~pos ~len =
-  let rec go i = i >= pos + len || (Bytes.get b i = '\000' && go (i + 1)) in
-  go pos
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Bytes_util.is_zero: bad range";
+  let limit = pos + len in
+  let i = ref pos in
+  let ok = ref true in
+  while !ok && !i + 8 <= limit do
+    if Bytes.get_int64_ne b !i <> 0L then ok := false else i := !i + 8
+  done;
+  while !ok && !i < limit do
+    if Bytes.unsafe_get b !i <> '\000' then ok := false else incr i
+  done;
+  !ok
 
 let ct_equal a b =
   if String.length a <> String.length b then false

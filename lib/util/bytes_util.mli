@@ -18,7 +18,8 @@ val zeroize : bytes -> pos:int -> len:int -> unit
 (** Overwrite the range with zero bytes. *)
 
 val is_zero : bytes -> pos:int -> len:int -> bool
-(** [true] iff the whole range is zero bytes. *)
+(** [true] iff the whole range is zero bytes (word-at-a-time scan).
+    Raises [Invalid_argument] on a bad range. *)
 
 val ct_equal : string -> string -> bool
 (** Constant-time string equality (always scans the full length). *)

@@ -50,9 +50,23 @@ let float t bound =
 let byte t = Char.chr (bits30 t land 0xff)
 
 let fill_bytes t b ~pos ~len =
-  for i = pos to pos + len - 1 do
-    Bytes.set b i (byte t)
-  done
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Prng.fill_bytes: bad range";
+  (* one generator step yields eight bytes *)
+  let limit = pos + len in
+  let i = ref pos in
+  while !i + 8 <= limit do
+    Bytes.set_int64_le b !i (next_int64 t);
+    i := !i + 8
+  done;
+  if !i < limit then begin
+    let r = ref (next_int64 t) in
+    while !i < limit do
+      Bytes.unsafe_set b !i (Char.unsafe_chr (Int64.to_int !r land 0xff));
+      r := Int64.shift_right_logical !r 8;
+      incr i
+    done
+  end
 
 let bytes t n =
   let b = Bytes.create n in

@@ -42,6 +42,9 @@ val bytes : t -> int -> bytes
 (** [bytes t n] is [n] uniformly random bytes. *)
 
 val fill_bytes : t -> bytes -> pos:int -> len:int -> unit
+(** Fill [len] bytes at [pos] with uniform random bytes, eight per
+    generator step (not the same stream as repeated {!byte} calls).
+    Raises [Invalid_argument] on a bad range. *)
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)

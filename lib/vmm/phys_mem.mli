@@ -36,7 +36,24 @@ val clear_frame : t -> int -> unit
 
 val frame_is_zero : t -> int -> bool
 
+(** {1 Frame generations}
+
+    Every mutation through this interface ({!write}, {!set_byte},
+    {!blit_frame}, {!clear_frame}) bumps a per-frame generation counter.
+    The incremental scanner ([Scan_cache]) caches per-page hit lists keyed
+    by these counters and re-scans only frames whose counter moved. *)
+
+val generation : t -> int -> int
+(** Current generation of frame [pfn] (starts at [0]).  Raises
+    [Invalid_argument] when out of range. *)
+
+val touch : t -> int -> unit
+(** Manually bump a frame's generation.  Only needed by code that mutates
+    memory through {!raw} instead of the write API. *)
+
 val raw : t -> bytes
 (** The underlying array.  Used by the scanner ([scanmemory] reads all of
     physical memory) and by the disclosure attacks; regular simulated code
-    must go through {!read}/{!write} or the kernel's virtual-memory API. *)
+    must go through {!read}/{!write} or the kernel's virtual-memory API.
+    Writing through [raw] bypasses the generation counters — call {!touch}
+    on the affected frames, or incremental scans will serve stale hits. *)

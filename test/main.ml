@@ -10,8 +10,10 @@ let () =
          Test_vmm.suite;
          Test_kernel.suite;
          Test_ssl.suite;
+         Test_multi_search.suite;
          Test_scan.suite;
          Test_scan_extra.suite;
+         Test_scan_cache.suite;
          Test_attack.suite;
          Test_apps.suite;
          Test_proto.suite;

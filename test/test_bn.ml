@@ -340,6 +340,28 @@ let prop_mod_pow_mont_vs_plain_big =
          done;
          !result))
 
+(* RSA-sized operands: many limbs and long exponents drive the windowed
+   exponentiation and every carry path of the squaring/multiply kernels *)
+let prop_mod_pow_wide =
+  QCheck.Test.make ~name:"mod_pow = square-and-multiply on 256-bit operands" ~count:15
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let m =
+        let v = Bn.random_bits rng 256 in
+        if Bn.is_even v then Bn.add v Bn.one else v
+      in
+      let b = Bn.random_below rng m in
+      let e = Bn.random_bits rng 256 in
+      Bn.equal
+        (Bn.mod_pow ~base:b ~exp:e ~modulus:m)
+        (let result = ref Bn.one in
+         for i = Bn.bit_length e - 1 downto 0 do
+           result := Bn.rem (Bn.mul !result !result) m;
+           if Bn.test_bit e i then result := Bn.rem (Bn.mul !result b) m
+         done;
+         !result))
+
 let mont_suite =
   ( "bn_montgomery",
     [ Alcotest.test_case "create" `Quick test_mont_create;
@@ -347,7 +369,8 @@ let mont_suite =
       Alcotest.test_case "mul matches plain" `Quick test_mont_mul_matches_plain;
       Alcotest.test_case "pow fermat" `Quick test_mont_pow_matches_fermat;
       QCheck_alcotest.to_alcotest prop_mont_pow_matches_plain;
-      QCheck_alcotest.to_alcotest prop_mod_pow_mont_vs_plain_big
+      QCheck_alcotest.to_alcotest prop_mod_pow_mont_vs_plain_big;
+      QCheck_alcotest.to_alcotest prop_mod_pow_wide
     ] )
 
 let suite = suite @ [ mont_suite ]

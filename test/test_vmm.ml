@@ -48,6 +48,26 @@ let test_mem_pfn_addr () =
   Alcotest.(check int) "addr of pfn" (5 * 4096) (Phys_mem.addr_of_pfn m 5);
   Alcotest.(check int) "pfn of addr" 5 (Phys_mem.pfn_of_addr m ((5 * 4096) + 123))
 
+let test_mem_generations () =
+  let m = make_mem () in
+  Alcotest.(check int) "fresh frame at gen 0" 0 (Phys_mem.generation m 0);
+  (* a write spanning a page boundary bumps every covered frame *)
+  Phys_mem.write m ~addr:(4096 - 2) "abcd";
+  Alcotest.(check int) "page 0 bumped" 1 (Phys_mem.generation m 0);
+  Alcotest.(check int) "page 1 bumped" 1 (Phys_mem.generation m 1);
+  Alcotest.(check int) "page 2 untouched" 0 (Phys_mem.generation m 2);
+  Phys_mem.set_byte m 5000 'x';
+  Alcotest.(check int) "set_byte bumps" 2 (Phys_mem.generation m 1);
+  Phys_mem.blit_frame m ~src_pfn:1 ~dst_pfn:3;
+  Alcotest.(check int) "blit bumps destination" 1 (Phys_mem.generation m 3);
+  Alcotest.(check int) "blit leaves source" 2 (Phys_mem.generation m 1);
+  Phys_mem.clear_frame m 3;
+  Alcotest.(check int) "clear bumps" 2 (Phys_mem.generation m 3);
+  Phys_mem.touch m 7;
+  Alcotest.(check int) "manual touch" 1 (Phys_mem.generation m 7);
+  Alcotest.check_raises "generation oob" (Invalid_argument "Phys_mem.generation: pfn out of range")
+    (fun () -> ignore (Phys_mem.generation m 64))
+
 (* ---- buddy ---- *)
 
 let test_buddy_initial_state () =
@@ -196,7 +216,8 @@ let suite =
         Alcotest.test_case "read/write" `Quick test_mem_rw;
         Alcotest.test_case "bounds" `Quick test_mem_bounds;
         Alcotest.test_case "blit/clear frame" `Quick test_mem_blit_clear;
-        Alcotest.test_case "pfn/addr" `Quick test_mem_pfn_addr
+        Alcotest.test_case "pfn/addr" `Quick test_mem_pfn_addr;
+        Alcotest.test_case "generation counters" `Quick test_mem_generations
       ] );
     ( "buddy",
       [ Alcotest.test_case "initial state" `Quick test_buddy_initial_state;
