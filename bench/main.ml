@@ -19,6 +19,7 @@ module Sim_rsa = Memguard_ssl.Sim_rsa
 module Bn = Memguard_bignum.Bn
 module Rsa = Memguard_crypto.Rsa
 module Prng = Memguard_util.Prng
+module Obs = Memguard_obs.Obs
 
 let section title =
   Format.printf "@.=== %s ===@." title
@@ -202,6 +203,22 @@ let scan_engine_bench () =
   let t_timeline_incr = timeline System.Incremental in
   let speedup_single = t_multipass /. t_single in
   let speedup_timeline = t_timeline_seed /. t_timeline_incr in
+  (* instrumented timeline runs: per-scan wall-time percentiles per mode,
+     plus the incremental cache's hit-rate / dirty-page ratio.  Separate
+     runs so the headline timings above stay untraced. *)
+  let percentiles scan_mode =
+    let obs = Obs.create () in
+    ignore (Experiment.timeline ~num_pages ~scan_mode ~obs Experiment.Ssh);
+    (obs, Obs.Metrics.samples obs ("scan.wall_s." ^ System.mode_name scan_mode))
+  in
+  let _, wall_seed = percentiles System.Multipass in
+  let _, wall_full = percentiles System.Full in
+  let obs_incr, wall_incr = percentiles System.Incremental in
+  let clean = float_of_int (Obs.Metrics.counter obs_incr "scan.cache_clean_pages") in
+  let dirty = float_of_int (Obs.Metrics.counter obs_incr "scan.cache_dirty_pages") in
+  let hit_rate = clean /. Float.max 1.0 (clean +. dirty) in
+  let dirty_ratio = dirty /. Float.max 1.0 (clean +. dirty) in
+  let p samples q = Obs.Metrics.percentile samples q in
   Format.printf "%-44s %12.6f s@." "full scan, seed (one pass per pattern)" t_multipass;
   Format.printf "%-44s %12.6f s  (%.2fx)@." "full scan, single-pass multi-pattern" t_single
     speedup_single;
@@ -210,6 +227,14 @@ let scan_engine_bench () =
   Format.printf "%-44s %12.6f s@." "fig 5/6 timeline, single-pass re-scan" t_timeline_full;
   Format.printf "%-44s %12.6f s  (%.2fx vs seed)@." "fig 5/6 timeline, incremental"
     t_timeline_incr speedup_timeline;
+  Format.printf "%-44s %11.1f%%@." "scan-cache hit rate (timeline)" (100. *. hit_rate);
+  Format.printf "%-44s %11.1f%%@." "dirty-page ratio (timeline)" (100. *. dirty_ratio);
+  List.iter
+    (fun (mode, samples) ->
+      Format.printf "%-44s %12.6f / %.6f / %.6f s@."
+        (Printf.sprintf "per-scan wall time %s (p50/p90/max)" mode)
+        (p samples 50.) (p samples 90.) (p samples 100.))
+    [ ("multipass", wall_seed); ("full", wall_full); ("incremental", wall_incr) ];
   let json =
     Printf.sprintf
       "{\n\
@@ -222,10 +247,24 @@ let scan_engine_bench () =
       \  \"timeline_full_rescan_s\": %.6f,\n\
       \  \"timeline_incremental_s\": %.6f,\n\
       \  \"speedup_single_pass_vs_multipass\": %.2f,\n\
-      \  \"speedup_timeline\": %.2f\n\
+      \  \"speedup_timeline\": %.2f,\n\
+      \  \"scan_cache_hit_rate\": %.4f,\n\
+      \  \"dirty_page_ratio\": %.4f,\n\
+      \  \"timeline_scan_wall_p50_multipass_s\": %.6f,\n\
+      \  \"timeline_scan_wall_p90_multipass_s\": %.6f,\n\
+      \  \"timeline_scan_wall_max_multipass_s\": %.6f,\n\
+      \  \"timeline_scan_wall_p50_full_s\": %.6f,\n\
+      \  \"timeline_scan_wall_p90_full_s\": %.6f,\n\
+      \  \"timeline_scan_wall_max_full_s\": %.6f,\n\
+      \  \"timeline_scan_wall_p50_incremental_s\": %.6f,\n\
+      \  \"timeline_scan_wall_p90_incremental_s\": %.6f,\n\
+      \  \"timeline_scan_wall_max_incremental_s\": %.6f\n\
        }\n"
       num_pages (List.length patterns) t_multipass t_single t_incr_idle t_timeline_seed
-      t_timeline_full t_timeline_incr speedup_single speedup_timeline
+      t_timeline_full t_timeline_incr speedup_single speedup_timeline hit_rate dirty_ratio
+      (p wall_seed 50.) (p wall_seed 90.) (p wall_seed 100.)
+      (p wall_full 50.) (p wall_full 90.) (p wall_full 100.)
+      (p wall_incr 50.) (p wall_incr 90.) (p wall_incr 100.)
   in
   let oc = open_out "BENCH_scan.json" in
   output_string oc json;

@@ -71,19 +71,52 @@ let directories_arg =
        & info [ "directories" ] ~docv:"N,N,..." ~doc:"Directory counts to sweep (ext2 only).")
 
 let timeline_cmd =
-  let run level server seed pages key_bits churn =
+  let module Obs = Memguard_obs.Obs in
+  let run level server seed pages key_bits churn trace metrics =
     Format.printf "# timeline: server=%s level=%s (%s)@."
       (match server with Experiment.Ssh -> "ssh" | Experiment.Http -> "http")
       (Protection.name level) (Protection.describe level);
-    let snaps = Experiment.timeline ~level ~seed ~num_pages:pages ~key_bits ~churn server in
-    Format.printf "%a" Memguard_scan.Report.pp_series snaps
+    let obs =
+      if trace <> None || metrics then Some (Obs.create ~ring_capacity:(1 lsl 20) ())
+      else None
+    in
+    let snaps = Experiment.timeline ~level ~seed ~num_pages:pages ~key_bits ~churn ?obs server in
+    Format.printf "%a" Memguard_scan.Report.pp_series snaps;
+    match obs with
+    | None -> ()
+    | Some obs ->
+      Format.printf "@.# key copies by origin (provenance join)@.";
+      Format.printf "%a" Memguard_scan.Report.pp_series_origins snaps;
+      (match trace with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc (Obs.Trace.to_jsonl obs);
+         close_out oc;
+         Format.printf "@.# wrote %d trace events to %s (%d dropped by the ring)@."
+           (List.length (Obs.Trace.records obs)) path (Obs.Trace.dropped obs)
+       | None -> ());
+      if metrics then begin
+        Format.printf "@.# subsystem metrics@.";
+        Format.printf "%a" Obs.Metrics.dump obs
+      end
   in
   let churn =
     Arg.(value & opt int 3 & info [ "churn" ] ~docv:"N" ~doc:"Reconnect cycles per slot per tick.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record the key-copy lifecycle trace and write it as JSON-lines to $(docv).")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Collect and print subsystem counters and scan-time histograms.")
+  in
   Cmd.v
     (Cmd.info "timeline" ~doc:"Figures 5/6/9-16/21-28: key copies over the scripted t=0..29 run")
-    Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ key_bits_arg $ churn)
+    Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ key_bits_arg $ churn
+          $ trace $ metrics)
 
 let ext2_cmd =
   let run level server seed pages key_bits trials connections directories =

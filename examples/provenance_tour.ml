@@ -1,0 +1,86 @@
+(* Provenance tour: trace every copy of the private key from its creation
+   site to the scanner hit that finds it.
+
+   The paper's core analytical move (Sections 3-4) is attribution: each key
+   copy that scanmemory turns up is traced back to the code path that made
+   it — the PEM read buffer, the DER decode temporary, the BIGNUM digit
+   stores, the per-process Montgomery cache, the kernel page cache — and
+   each countermeasure is justified by which of those origins it kills.
+   This example makes that attribution visible: an observability context is
+   threaded through the whole machine, every copy site emits a typed
+   lifecycle event, and each scanner hit is joined against the provenance
+   registry.
+
+   Run with:  dune exec examples/provenance_tour.exe *)
+
+open Memguard
+module Report = Memguard_scan.Report
+module Kernel = Memguard_kernel.Kernel
+module Ssl = Memguard_ssl.Ssl
+module Sim_rsa = Memguard_ssl.Sim_rsa
+module Sshd = Memguard_apps.Sshd
+module Obs = Memguard_obs.Obs
+
+let () =
+  (* An instrumented 8 MiB machine: same simulation, plus a flight
+     recorder.  Everything below is byte-identical to an untraced run. *)
+  let obs = Obs.create () in
+  let sys = System.create ~num_pages:2048 ~seed:42 ~obs ~level:Protection.Unprotected () in
+  let k = System.kernel sys in
+
+  (* Act 1: a single key load, narrated by its trace. *)
+  print_endline "=== Act 1: what one load_private_key leaves behind ===";
+  let p = Kernel.spawn k ~name:"app" in
+  let rsa = Ssl.load_private_key k p ~path:System.key_path Ssl.Vanilla in
+  ignore (Sim_rsa.private_op k p rsa (Memguard_bignum.Bn.of_int 0xC0FFEE));
+  List.iter
+    (fun (r : Obs.record) ->
+      match r.Obs.event with
+      | Obs.Copy_created { origin; pid; addr; len } ->
+        Printf.printf "  copy created  %-11s pid=%d phys=[%#x..%#x)\n"
+          (Obs.origin_name origin) pid addr (addr + len)
+      | Obs.Copy_freed_dirty { origin; len; _ } ->
+        Printf.printf "  freed DIRTY   %-11s %d bytes survive in free memory\n"
+          (Obs.origin_name origin) len
+      | Obs.Copy_zeroed { origin; _ } ->
+        Printf.printf "  zeroed        %s\n" (Obs.origin_name origin)
+      | _ -> ())
+    (Obs.Trace.records obs);
+
+  (* Act 2: scanner hits joined with their origins. *)
+  print_endline "\n=== Act 2: scanmemory hits, attributed ===";
+  let snap = System.scan sys ~time:1 in
+  Printf.printf "t=1: %d copies found; by origin:\n" snap.Report.total;
+  List.iter (fun (o, n) -> Printf.printf "  %-12s %d\n" o n) (Report.by_origin snap);
+  (match snap.Report.annotated with
+   | { hit; info = Some i } :: _ ->
+     Printf.printf "  e.g. pattern %S at phys %#x came from %s, %d tick(s) ago\n"
+       hit.Memguard_scan.Scanner.label hit.Memguard_scan.Scanner.addr
+       (Obs.origin_name i.Report.origin) i.Report.age_ticks
+   | _ -> ());
+
+  (* Act 3: a busy server, then the per-tick origin breakdown. *)
+  print_endline "\n=== Act 3: 8 ssh connections, then the same join per tick ===";
+  let sshd = System.start_sshd sys in
+  let rng = System.rng sys in
+  let conns = List.init 8 (fun _ -> Sshd.open_connection sshd rng) in
+  let busy = System.scan sys ~time:2 in
+  List.iter (Sshd.close_connection sshd) conns;
+  let closed = System.scan sys ~time:3 in
+  Format.printf "%a" Report.pp_series_origins [ snap; busy; closed ];
+
+  (* Act 4: the subsystem metrics the run accumulated. *)
+  print_endline "\n=== Act 4: flight-recorder metrics ===";
+  Format.printf "%a" Obs.Metrics.dump obs;
+  Printf.printf "\ntrace: %d events emitted, %d retained, %d dropped\n"
+    (Obs.Trace.emitted obs)
+    (List.length (Obs.Trace.records obs))
+    (Obs.Trace.dropped obs);
+  print_endline "first two JSONL lines of the export:";
+  (match Obs.Trace.records obs with
+   | a :: b :: _ ->
+     print_endline ("  " ^ Obs.Trace.jsonl_of_record a);
+     print_endline ("  " ^ Obs.Trace.jsonl_of_record b)
+   | _ -> ());
+  print_endline "\nEvery unallocated copy the attacks feed on is now a named, dated";
+  print_endline "artifact of a specific code path — the map Section 4's fixes follow."

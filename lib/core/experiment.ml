@@ -106,8 +106,8 @@ let tty_sweep ?(level = Protection.Unprotected) ?(trials = 5) ?(num_pages = 4096
     connections
 
 let timeline ?(level = Protection.Unprotected) ?(num_pages = 8192) ?(seed = 1) ?key_bits
-    ?(churn = 3) ?(scan_mode = System.Incremental) server =
-  let sys = System.create ?key_bits ~num_pages ~level ~seed ~scan_mode () in
+    ?(churn = 3) ?(scan_mode = System.Incremental) ?obs server =
+  let sys = System.create ?key_bits ~num_pages ~level ~seed ~scan_mode ?obs () in
   Timeline.run ~churn sys (match server with Ssh -> Timeline.Ssh | Http -> Timeline.Http)
 
 let before_after_tty ?(trials = 10) ?(num_pages = 4096) ?(seed = 1)

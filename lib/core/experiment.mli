@@ -53,6 +53,7 @@ val timeline :
   ?key_bits:int ->
   ?churn:int ->
   ?scan_mode:System.scan_mode ->
+  ?obs:Memguard_obs.Obs.ctx ->
   server ->
   Memguard_scan.Report.snapshot list
 (** Figures 5/6 (unprotected) and 9–16 / 21–28 (one protection level each):
@@ -60,7 +61,10 @@ val timeline :
     (default [Incremental]) uses the dirty-page scan cache for the
     per-tick snapshots; [Full] forces a cold single-pass re-scan at every
     tick and [Multipass] the seed behaviour of one cold pass per pattern
-    (both kept for benchmarking). *)
+    (both kept for benchmarking).  [obs] threads an observability context
+    through the machine (see {!System.create}): the run's snapshots then
+    carry per-hit provenance and the context accumulates the event trace
+    and subsystem metrics. *)
 
 (** {1 Section 5.2 / 6.2 — attacks before vs after} *)
 

@@ -11,8 +11,14 @@ module Ext2_leak = Memguard_attack.Ext2_leak
 module Tty_dump = Memguard_attack.Tty_dump
 
 module Scan_cache = Memguard_scan.Scan_cache
+module Obs = Memguard_obs.Obs
 
 type scan_mode = Incremental | Full | Multipass
+
+let mode_name = function
+  | Incremental -> "incremental"
+  | Full -> "full"
+  | Multipass -> "multipass"
 
 type t = {
   kernel_ : Kernel.t;
@@ -21,6 +27,7 @@ type t = {
   pem_ : string;
   rng_ : Prng.t;
   scan_mode_ : scan_mode;
+  obs_ : Obs.ctx;
   mutable cache_ : Scan_cache.t option; (* built lazily on the first scan *)
 }
 
@@ -47,7 +54,7 @@ let boot_noise kernel rng =
   done
 
 let create ?(num_pages = 8192) ?(key_bits = 256) ?(seed = 1) ?(noise = true)
-    ?(scan_mode = Incremental) ~level () =
+    ?(scan_mode = Incremental) ?(obs = Obs.null) ~level () =
   let rng_ = Prng.of_int seed in
   let config =
     { Kernel.default_config with
@@ -56,7 +63,7 @@ let create ?(num_pages = 8192) ?(key_bits = 256) ?(seed = 1) ?(noise = true)
       secure_dealloc = Protection.kernel_secure_dealloc level
     }
   in
-  let kernel_ = Kernel.create ~config () in
+  let kernel_ = Kernel.create ~config ~obs () in
   if noise then boot_noise kernel_ (Prng.split rng_);
   let priv_ = Rsa.generate (Prng.split rng_) ~bits:key_bits in
   ignore (Kernel.write_file kernel_ ~path:key_path (Rsa.pem_of_priv priv_));
@@ -66,6 +73,7 @@ let create ?(num_pages = 8192) ?(key_bits = 256) ?(seed = 1) ?(noise = true)
     pem_ = Rsa.pem_of_priv priv_;
     rng_;
     scan_mode_ = scan_mode;
+    obs_ = obs;
     cache_ = None
   }
 
@@ -74,6 +82,7 @@ let level t = t.level_
 let priv t = t.priv_
 let pem t = t.pem_
 let rng t = t.rng_
+let obs t = t.obs_
 
 let patterns t = Scanner.key_patterns ~pem:t.pem_ t.priv_
 
@@ -87,19 +96,48 @@ let start_plain_app t =
     (Protection.ssl_mode_plain_app t.level_)
 
 let scan t ~time =
-  match t.scan_mode_ with
-  | Full -> Report.of_hits ~time (Scanner.scan t.kernel_ ~patterns:(patterns t))
-  | Multipass -> Report.of_hits ~time (Scanner.scan_multipass t.kernel_ ~patterns:(patterns t))
-  | Incremental ->
-    let cache =
-      match t.cache_ with
-      | Some c -> c
-      | None ->
-        let c = Scan_cache.create t.kernel_ ~patterns:(patterns t) in
-        t.cache_ <- Some c;
-        c
-    in
-    Report.of_hits ~time (Scan_cache.scan cache)
+  let obs = t.obs_ in
+  let mode = mode_name t.scan_mode_ in
+  Obs.set_tick obs time;
+  Obs.Trace.emit obs (Obs.Scan_started { mode });
+  (* wall-clock only feeds the metrics histogram; nothing in the simulation
+     reads it, so determinism is untouched *)
+  let t0 = if Obs.enabled obs then Unix.gettimeofday () else 0.0 in
+  let num_pages = Memguard_vmm.Phys_mem.num_pages (Kernel.mem t.kernel_) in
+  let hits, pages_scanned =
+    match t.scan_mode_ with
+    | Full -> (Scanner.scan t.kernel_ ~patterns:(patterns t), num_pages)
+    | Multipass ->
+      ( Scanner.scan_multipass t.kernel_ ~patterns:(patterns t),
+        num_pages * List.length (patterns t) )
+    | Incremental ->
+      let cache =
+        match t.cache_ with
+        | Some c -> c
+        | None ->
+          let c = Scan_cache.create t.kernel_ ~patterns:(patterns t) in
+          t.cache_ <- Some c;
+          c
+      in
+      let hits = Scan_cache.scan cache in
+      let st = Scan_cache.stats cache in
+      Obs.Metrics.incr obs ~by:st.Scan_cache.last_clean_pages "scan.cache_clean_pages";
+      Obs.Metrics.incr obs ~by:st.Scan_cache.last_pages_scanned "scan.cache_dirty_pages";
+      (hits, st.Scan_cache.last_pages_scanned)
+  in
+  if Obs.enabled obs then begin
+    let dt = Unix.gettimeofday () -. t0 in
+    Obs.Metrics.observe obs "scan.wall_s" dt;
+    Obs.Metrics.observe obs ("scan.wall_s." ^ mode) dt
+  end;
+  Obs.Metrics.incr obs "scan.runs";
+  Obs.Metrics.incr obs ~by:pages_scanned "scan.pages_swept";
+  Obs.Metrics.incr obs ~by:(List.length hits) "scan.hits";
+  Obs.Trace.emit obs
+    (Obs.Scan_finished { mode; hits = List.length hits; pages_scanned });
+  Report.of_hits ~obs ~time hits
+
+let scan_stats t = Option.map Scan_cache.stats t.cache_
 
 (* Background churn between the workload and the attack: ongoing system
    activity recycles the free lists, leaving freed pages in effectively

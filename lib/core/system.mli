@@ -13,6 +13,10 @@ type scan_mode =
   | Multipass  (** cold sweep {e per pattern} — the pre-engine baseline,
                    kept for benchmarking *)
 
+val mode_name : scan_mode -> string
+(** ["incremental"] / ["full"] / ["multipass"] — the tag used in trace
+    events and metric names. *)
+
 val key_path : string
 (** ["/etc/ssl/host_key.pem"]. *)
 
@@ -22,6 +26,7 @@ val create :
   ?seed:int ->
   ?noise:bool ->
   ?scan_mode:scan_mode ->
+  ?obs:Memguard_obs.Obs.ctx ->
   level:Protection.level ->
   unit ->
   t
@@ -32,13 +37,18 @@ val create :
     runs boot-time allocator churn so that later allocations scatter over
     the whole physical range, as on a live machine.  [scan_mode] (default
     [Incremental]) selects how {!scan} sweeps memory; all three modes
-    return identical results. *)
+    return identical results.  [obs] (default {!Memguard_obs.Obs.null})
+    is threaded through every layer — kernel, allocator, page cache, SSL
+    library, scanner — collecting the key-copy lifecycle trace, subsystem
+    metrics, and per-hit provenance; with the default disabled context the
+    simulation is byte-identical to an uninstrumented run. *)
 
 val kernel : t -> Kernel.t
 val level : t -> Protection.level
 val priv : t -> Memguard_crypto.Rsa.priv
 val pem : t -> string
 val rng : t -> Memguard_util.Prng.t
+val obs : t -> Memguard_obs.Obs.ctx
 
 val patterns : t -> (string * string) list
 (** The scanner patterns for this machine's key (d, p, q, pem). *)
@@ -55,7 +65,15 @@ val scan : t -> time:int -> Memguard_scan.Report.snapshot
 (** Run the scanner over physical memory right now.  Incremental by
     default (see [create ?scan_mode]): only pages written since the
     previous [scan] are re-swept, with results identical to a cold
-    {!Memguard_scan.Scanner.scan}. *)
+    {!Memguard_scan.Scanner.scan}.  With an enabled observability context
+    the scan also sets the trace tick to [time], emits
+    [Scan_started]/[Scan_finished] events, updates the [scan.*] counters
+    and wall-time histograms, and annotates each hit with its provenance
+    (see {!Memguard_scan.Report}). *)
+
+val scan_stats : t -> Memguard_scan.Scan_cache.stats option
+(** Hit/miss statistics of the incremental scan cache; [None] until the
+    first [Incremental] {!scan} builds it. *)
 
 val settle : t -> unit
 (** Let background system activity churn the free lists (shuffling the

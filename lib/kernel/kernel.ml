@@ -1,4 +1,5 @@
 open Memguard_vmm
+module Obs = Memguard_obs.Obs
 
 exception Out_of_memory
 
@@ -33,16 +34,17 @@ type t = {
      scheme is precisely that the key is small and never written out).
      CBC with a per-slot IV derived from the slot number. *)
   swap_key : string option;
+  obs : Obs.ctx;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?(obs = Obs.null) () =
   let mem = Phys_mem.create ~page_size:config.page_size ~num_pages:config.num_pages () in
-  let buddy = Buddy.create ~zero_on_free:config.zero_on_free mem in
+  let buddy = Buddy.create ~zero_on_free:config.zero_on_free ~obs mem in
   { cfg = config;
     mem;
     buddy;
     fs = Fs.create ();
-    page_cache = Page_cache.create mem buddy;
+    page_cache = Page_cache.create ~obs mem buddy;
     swap =
       (if config.swap_slots > 0 then Some (Swap.create ~slots:config.swap_slots ~page_size:config.page_size ())
        else None);
@@ -53,7 +55,8 @@ let create ?(config = default_config) () =
     swap_key =
       (if config.swap_encrypt then
          Some (Memguard_crypto.Md5.digest (Printf.sprintf "boot-key-%d" config.num_pages))
-       else None)
+       else None);
+    obs
   }
 
 let config t = t.cfg
@@ -63,6 +66,7 @@ let fs t = t.fs
 let page_cache t = t.page_cache
 let swap t = t.swap
 let page_size t = t.cfg.page_size
+let obs t = t.obs
 
 let set_zero_on_free t v = Buddy.set_zero_on_free t.buddy v
 let set_secure_dealloc t v = t.secure_dealloc <- v
@@ -121,6 +125,19 @@ let try_swap_out t =
                  | None -> raise Done
                  | Some slot ->
                    Swap.write_slot sw slot (swap_transform t ~slot content);
+                   Obs.Trace.emit t.obs
+                     (Obs.Swap_out { pid = p.Proc.pid; slot; pfn = pr.Proc.pfn });
+                   Obs.Trace.emit t.obs
+                     (Obs.Copy_created
+                        { origin = Obs.Swap; pid = p.Proc.pid;
+                          addr = slot * t.cfg.page_size; len = t.cfg.page_size });
+                   Obs.Metrics.incr t.obs "swap.outs";
+                   (* the frame is freed WITHOUT zeroing: its content — and
+                      its provenance — survive in RAM; the slot remembers
+                      the intervals for the eventual swap-in *)
+                   Obs.Provenance.stash t.obs ~slot
+                     ~addr:(Phys_mem.addr_of_pfn t.mem pr.Proc.pfn)
+                     ~len:t.cfg.page_size;
                    Buddy.free_page t.buddy pr.Proc.pfn;
                    Hashtbl.replace p.Proc.page_table vpn (Proc.Swapped slot);
                    found := true;
@@ -147,6 +164,7 @@ let map_anon_page t (p : Proc.t) ~vpn =
   let pfn = alloc_frame t in
   (* Linux zeroes anonymous pages before handing them to userspace *)
   Phys_mem.clear_frame t.mem pfn;
+  Obs.Provenance.clear t.obs ~addr:(Phys_mem.addr_of_pfn t.mem pfn) ~len:t.cfg.page_size;
   let page = Phys_mem.page t.mem pfn in
   page.Page.owner <- Page.Anon;
   page.Page.refcount <- 1;
@@ -157,6 +175,10 @@ let swap_in t (p : Proc.t) ~vpn ~slot =
   let pfn = alloc_frame t in
   let content = swap_transform t ~slot (Swap.load sw slot) in
   Phys_mem.write t.mem ~addr:(Phys_mem.addr_of_pfn t.mem pfn) content;
+  Obs.Trace.emit t.obs (Obs.Swap_in { pid = p.Proc.pid; slot; pfn });
+  Obs.Metrics.incr t.obs "swap.ins";
+  Obs.Provenance.restore t.obs ~slot ~addr:(Phys_mem.addr_of_pfn t.mem pfn)
+    ~len:t.cfg.page_size;
   (* the swap slot is released but NOT cleared: stale copy stays on disk *)
   Swap.release sw slot;
   let page = Phys_mem.page t.mem pfn in
@@ -172,11 +194,19 @@ let resolve_for_read t (p : Proc.t) ~vpn =
   | Some (Proc.Present pr) -> pr
   | Some (Proc.Swapped slot) -> swap_in t p ~vpn ~slot
 
-let cow_break t (pr : Proc.present) =
+let cow_break t ~pid (pr : Proc.present) =
   let page = Phys_mem.page t.mem pr.Proc.pfn in
   if page.Page.refcount > 1 then begin
     let new_pfn = alloc_frame t in
     Phys_mem.blit_frame t.mem ~src_pfn:pr.Proc.pfn ~dst_pfn:new_pfn;
+    (* the duplicated frame carries whatever key bytes the original held:
+       clone their provenance so scanner hits in the copy still attribute *)
+    Obs.Trace.emit t.obs (Obs.Cow_fault { pid; src_pfn = pr.Proc.pfn; dst_pfn = new_pfn });
+    Obs.Metrics.incr t.obs "kernel.cow_faults";
+    Obs.Provenance.blit t.obs
+      ~src:(Phys_mem.addr_of_pfn t.mem pr.Proc.pfn)
+      ~dst:(Phys_mem.addr_of_pfn t.mem new_pfn)
+      ~len:t.cfg.page_size;
     page.Page.refcount <- page.Page.refcount - 1;
     let np = Phys_mem.page t.mem new_pfn in
     np.Page.owner <- Page.Anon;
@@ -188,7 +218,7 @@ let cow_break t (pr : Proc.present) =
 
 let resolve_for_write t (p : Proc.t) ~vpn =
   let pr = resolve_for_read t p ~vpn in
-  if pr.Proc.cow then cow_break t pr;
+  if pr.Proc.cow then cow_break t ~pid:p.Proc.pid pr;
   pr
 
 let write_mem t (p : Proc.t) ~addr data =
@@ -221,7 +251,58 @@ let read_mem t (p : Proc.t) ~addr ~len =
   done;
   Buffer.contents buf
 
-let zero_mem t p ~addr ~len = write_mem t p ~addr (String.make len '\000')
+(* zeroing destroys the bytes: retire any provenance interval covering the
+   physical ranges (the COW break, if one fires, has already cloned the
+   shared frame, so only the writer's private copy is retired) *)
+let zero_mem t (p : Proc.t) ~addr ~len =
+  let ps = t.cfg.page_size in
+  let pos = ref 0 in
+  while !pos < len do
+    let vaddr = addr + !pos in
+    let vpn = vaddr / ps and off = vaddr mod ps in
+    let chunk = min (ps - off) (len - !pos) in
+    let pr = resolve_for_write t p ~vpn in
+    let phys = Phys_mem.addr_of_pfn t.mem pr.Proc.pfn + off in
+    Phys_mem.write t.mem ~addr:phys (String.make chunk '\000');
+    Obs.Provenance.clear t.obs ~addr:phys ~len:chunk;
+    pos := !pos + chunk
+  done
+
+(* ---- observability: key-copy lifecycle notes from the library layer ---- *)
+
+(* walk the *current* physical chunks backing a virtual range (skipping
+   swapped-out pages — callers note copies right after writing them) *)
+let iter_phys_chunks t (p : Proc.t) ~addr ~len f =
+  let ps = t.cfg.page_size in
+  let pos = ref 0 in
+  while !pos < len do
+    let vaddr = addr + !pos in
+    let vpn = vaddr / ps and off = vaddr mod ps in
+    let chunk = min (ps - off) (len - !pos) in
+    (match Proc.find_pte p ~vpn with
+     | Some (Proc.Present pr) -> f (Phys_mem.addr_of_pfn t.mem pr.Proc.pfn + off) chunk
+     | Some (Proc.Swapped _) | None -> ());
+    pos := !pos + chunk
+  done
+
+let note_copy t (p : Proc.t) ~origin ~addr ~len =
+  if Obs.enabled t.obs then
+    iter_phys_chunks t p ~addr ~len (fun phys chunk ->
+        Obs.Trace.emit t.obs
+          (Obs.Copy_created { origin; pid = p.Proc.pid; addr = phys; len = chunk });
+        Obs.Provenance.register t.obs ~origin ~pid:p.Proc.pid ~addr:phys ~len:chunk)
+
+let note_zeroed t (p : Proc.t) ~origin ~addr ~len =
+  if Obs.enabled t.obs then
+    iter_phys_chunks t p ~addr ~len (fun phys chunk ->
+        Obs.Trace.emit t.obs
+          (Obs.Copy_zeroed { origin; pid = p.Proc.pid; addr = phys; len = chunk }))
+
+let note_freed_dirty t (p : Proc.t) ~origin ~addr ~len =
+  if Obs.enabled t.obs then
+    iter_phys_chunks t p ~addr ~len (fun phys chunk ->
+        Obs.Trace.emit t.obs
+          (Obs.Copy_freed_dirty { origin; pid = p.Proc.pid; addr = phys; len = chunk }))
 
 let pfn_of_vaddr t (p : Proc.t) vaddr =
   match Proc.find_pte p ~vpn:(vpn_of_vaddr t vaddr) with

@@ -37,7 +37,11 @@ type config = {
 
 val default_config : config
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?obs:Memguard_obs.Obs.ctx -> unit -> t
+(** [obs] (default {!Memguard_obs.Obs.null}) is the observability context
+    threaded through the allocator, the page cache, the swap path and the
+    COW machinery.  A disabled context (the default) costs one branch per
+    instrumented site and records nothing. *)
 
 (** {1 Accessors} *)
 
@@ -48,6 +52,7 @@ val fs : t -> Fs.t
 val page_cache : t -> Page_cache.t
 val swap : t -> Swap.t option
 val page_size : t -> int
+val obs : t -> Memguard_obs.Obs.ctx
 
 val set_zero_on_free : t -> bool -> unit
 val set_secure_dealloc : t -> bool -> unit
@@ -99,6 +104,31 @@ val write_mem : t -> Proc.t -> addr:int -> string -> unit
 val read_mem : t -> Proc.t -> addr:int -> len:int -> string
 
 val zero_mem : t -> Proc.t -> addr:int -> len:int -> unit
+(** Overwrite the range with zeros (through COW, like {!write_mem}) and
+    retire any key-copy provenance intervals covering the physical bytes. *)
+
+(** {1 Key-copy lifecycle notes (observability)}
+
+    Library code ({!Memguard_ssl}) calls these at the paper's copy sites.
+    All three are no-ops on a disabled context.  [addr]/[len] are a
+    {e virtual} range in [p]; events and provenance intervals are emitted
+    per physical chunk. *)
+
+val note_copy :
+  t -> Proc.t -> origin:Memguard_obs.Obs.origin -> addr:int -> len:int -> unit
+(** The range now holds a fresh copy of key material: emit [Copy_created]
+    and register the physical range in the provenance registry. *)
+
+val note_zeroed :
+  t -> Proc.t -> origin:Memguard_obs.Obs.origin -> addr:int -> len:int -> unit
+(** Emit [Copy_zeroed] (call after {!zero_mem}, which already retired the
+    provenance). *)
+
+val note_freed_dirty :
+  t -> Proc.t -> origin:Memguard_obs.Obs.origin -> addr:int -> len:int -> unit
+(** Emit [Copy_freed_dirty]: the copy was freed without zeroing, so its
+    provenance interval intentionally stays live — a later scanner hit in
+    unallocated memory attributes back to this origin. *)
 
 val pfn_of_vaddr : t -> Proc.t -> int -> int option
 (** Physical frame backing a virtual address ([None] if unmapped or

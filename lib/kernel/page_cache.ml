@@ -1,4 +1,5 @@
 open Memguard_vmm
+module Obs = Memguard_obs.Obs
 
 type entry = { pfn : int; mutable last_used : int }
 
@@ -7,9 +8,11 @@ type t = {
   buddy : Buddy.t;
   entries : (int * int, entry) Hashtbl.t;  (* (ino, index) -> frame *)
   mutable clock : int;
+  obs : Obs.ctx;
 }
 
-let create mem buddy = { mem; buddy; entries = Hashtbl.create 64; clock = 0 }
+let create ?(obs = Obs.null) mem buddy =
+  { mem; buddy; entries = Hashtbl.create 64; clock = 0; obs }
 
 let touch t e =
   t.clock <- t.clock + 1;
@@ -22,9 +25,13 @@ let lookup t ~ino ~index =
     Some e.pfn
   | None -> None
 
-let drop_frame t pfn =
+let drop_frame t ~ino ~index pfn =
   (* remove_from_page_cache + clear_highpage + __free_pages *)
   Phys_mem.clear_frame t.mem pfn;
+  Obs.Provenance.clear t.obs ~addr:(Phys_mem.addr_of_pfn t.mem pfn)
+    ~len:(Phys_mem.page_size t.mem);
+  Obs.Trace.emit t.obs (Obs.Page_cache_evict { ino; index; pfn; cleared = true });
+  Obs.Metrics.incr t.obs "page_cache.evictions_clean";
   Buddy.free_page t.buddy pfn
 
 let insert t ~ino ~index content =
@@ -33,17 +40,26 @@ let insert t ~ino ~index content =
   (match Hashtbl.find_opt t.entries (ino, index) with
    | Some old ->
      Hashtbl.remove t.entries (ino, index);
-     drop_frame t old.pfn
+     drop_frame t ~ino ~index old.pfn
    | None -> ());
   match Buddy.alloc_page t.buddy with
   | None -> None
   | Some pfn ->
     (* readpage zeroes the tail of a partial page *)
     Phys_mem.clear_frame t.mem pfn;
-    Phys_mem.write t.mem ~addr:(Phys_mem.addr_of_pfn t.mem pfn) content;
+    let addr = Phys_mem.addr_of_pfn t.mem pfn in
+    Obs.Provenance.clear t.obs ~addr ~len:(Phys_mem.page_size t.mem);
+    Phys_mem.write t.mem ~addr content;
     let p = Phys_mem.page t.mem pfn in
     p.Page.owner <- Page.Page_cache { ino; index };
     p.Page.refcount <- 1;
+    Obs.Trace.emit t.obs (Obs.Page_cache_insert { ino; index; pfn });
+    Obs.Trace.emit t.obs
+      (Obs.Copy_created
+         { origin = Obs.Page_cache; pid = 0; addr; len = String.length content });
+    Obs.Provenance.register t.obs ~origin:Obs.Page_cache ~pid:0 ~addr
+      ~len:(String.length content);
+    Obs.Metrics.incr t.obs "page_cache.inserts";
     let e = { pfn; last_used = 0 } in
     touch t e;
     Hashtbl.replace t.entries (ino, index) e;
@@ -56,7 +72,7 @@ let evict_ino t ~ino =
   List.iter
     (fun (idx, pfn) ->
       Hashtbl.remove t.entries (ino, idx);
-      drop_frame t pfn)
+      drop_frame t ~ino ~index:idx pfn)
     (entries_of_ino t ~ino)
 
 let evict_lru t =
@@ -70,18 +86,21 @@ let evict_lru t =
   in
   match victim with
   | None -> false
-  | Some (key, e) ->
+  | Some (((ino, index) as key), e) ->
     Hashtbl.remove t.entries key;
-    (* plain reclaim: the frame is freed but NOT cleared *)
+    (* plain reclaim: the frame is freed but NOT cleared — its provenance
+       interval stays live, attributing the stale copy to Page_cache *)
+    Obs.Trace.emit t.obs (Obs.Page_cache_evict { ino; index; pfn = e.pfn; cleared = false });
+    Obs.Metrics.incr t.obs "page_cache.evictions_dirty";
     Buddy.free_page t.buddy e.pfn;
     true
 
 let evict_all t =
   let all = Hashtbl.fold (fun k e acc -> (k, e.pfn) :: acc) t.entries [] in
   List.iter
-    (fun (k, pfn) ->
+    (fun (((ino, index) as k), pfn) ->
       Hashtbl.remove t.entries k;
-      drop_frame t pfn)
+      drop_frame t ~ino ~index pfn)
     all
 
 let frames_of_ino t ~ino = List.map snd (entries_of_ino t ~ino) |> List.sort compare

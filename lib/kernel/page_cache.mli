@@ -8,7 +8,11 @@
 
 type t
 
-val create : Memguard_vmm.Phys_mem.t -> Memguard_vmm.Buddy.t -> t
+val create :
+  ?obs:Memguard_obs.Obs.ctx -> Memguard_vmm.Phys_mem.t -> Memguard_vmm.Buddy.t -> t
+(** [obs] (default {!Memguard_obs.Obs.null}) receives
+    [Page_cache_insert]/[Page_cache_evict] events, a [Copy_created] with
+    origin [Page_cache] per cached page, and insert/eviction counters. *)
 
 val lookup : t -> ino:int -> index:int -> int option
 (** Cached frame (pfn) for page [index] of file [ino]. *)

@@ -1,0 +1,317 @@
+type origin =
+  | Pem_buffer
+  | Der_temp
+  | Bn_limbs
+  | Mont_cache
+  | Page_cache
+  | Swap
+  | Heap_copy
+
+let all_origins =
+  [ Pem_buffer; Der_temp; Bn_limbs; Mont_cache; Page_cache; Swap; Heap_copy ]
+
+let origin_name = function
+  | Pem_buffer -> "pem_buffer"
+  | Der_temp -> "der_temp"
+  | Bn_limbs -> "bn_limbs"
+  | Mont_cache -> "mont_cache"
+  | Page_cache -> "page_cache"
+  | Swap -> "swap"
+  | Heap_copy -> "heap_copy"
+
+let origin_of_name s = List.find_opt (fun o -> origin_name o = s) all_origins
+
+type event =
+  | Copy_created of { origin : origin; pid : int; addr : int; len : int }
+  | Copy_zeroed of { origin : origin; pid : int; addr : int; len : int }
+  | Copy_freed_dirty of { origin : origin; pid : int; addr : int; len : int }
+  | Cow_fault of { pid : int; src_pfn : int; dst_pfn : int }
+  | Page_cache_insert of { ino : int; index : int; pfn : int }
+  | Page_cache_evict of { ino : int; index : int; pfn : int; cleared : bool }
+  | Swap_out of { pid : int; slot : int; pfn : int }
+  | Swap_in of { pid : int; slot : int; pfn : int }
+  | Scan_started of { mode : string }
+  | Scan_finished of { mode : string; hits : int; pages_scanned : int }
+
+type record = { seq : int; tick : int; event : event }
+
+type info = { origin : origin; pid : int; birth_tick : int }
+
+type interval = { start : int; ilen : int; info : info }
+
+type ctx = {
+  enabled_ : bool;
+  capacity : int;
+  ring : record option array;
+  mutable next_seq : int;
+  mutable tick_ : int;
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, float list ref) Hashtbl.t;
+  mutable intervals : interval list;
+  stashes : (int, (int * int * info) list) Hashtbl.t;
+}
+
+let make ~enabled ~capacity =
+  { enabled_ = enabled;
+    capacity;
+    ring = Array.make (max capacity 1) None;
+    next_seq = 0;
+    tick_ = 0;
+    counters = Hashtbl.create 32;
+    histograms = Hashtbl.create 8;
+    intervals = [];
+    stashes = Hashtbl.create 8
+  }
+
+let null = make ~enabled:false ~capacity:0
+
+let create ?(ring_capacity = 65536) () =
+  if ring_capacity <= 0 then invalid_arg "Obs.create: ring_capacity must be positive";
+  make ~enabled:true ~capacity:ring_capacity
+
+let enabled ctx = ctx.enabled_
+let set_tick ctx t = if ctx.enabled_ then ctx.tick_ <- t
+let tick ctx = ctx.tick_
+
+(* ---- trace ---- *)
+
+module Trace = struct
+  let emit ctx event =
+    if ctx.enabled_ then begin
+      let r = { seq = ctx.next_seq; tick = ctx.tick_; event } in
+      ctx.ring.(ctx.next_seq mod ctx.capacity) <- Some r;
+      ctx.next_seq <- ctx.next_seq + 1
+    end
+
+  let emitted ctx = ctx.next_seq
+  let dropped ctx = max 0 (ctx.next_seq - ctx.capacity)
+
+  let records ctx =
+    let first = dropped ctx in
+    let acc = ref [] in
+    for seq = ctx.next_seq - 1 downto first do
+      match ctx.ring.(seq mod ctx.capacity) with
+      | Some r -> acc := r :: !acc
+      | None -> ()
+    done;
+    !acc
+
+  let fields_of_event = function
+    | Copy_created { origin; pid; addr; len } ->
+      ("copy_created",
+       [ ("origin", `S (origin_name origin)); ("pid", `I pid); ("addr", `I addr);
+         ("len", `I len) ])
+    | Copy_zeroed { origin; pid; addr; len } ->
+      ("copy_zeroed",
+       [ ("origin", `S (origin_name origin)); ("pid", `I pid); ("addr", `I addr);
+         ("len", `I len) ])
+    | Copy_freed_dirty { origin; pid; addr; len } ->
+      ("copy_freed_dirty",
+       [ ("origin", `S (origin_name origin)); ("pid", `I pid); ("addr", `I addr);
+         ("len", `I len) ])
+    | Cow_fault { pid; src_pfn; dst_pfn } ->
+      ("cow_fault", [ ("pid", `I pid); ("src_pfn", `I src_pfn); ("dst_pfn", `I dst_pfn) ])
+    | Page_cache_insert { ino; index; pfn } ->
+      ("page_cache_insert", [ ("ino", `I ino); ("index", `I index); ("pfn", `I pfn) ])
+    | Page_cache_evict { ino; index; pfn; cleared } ->
+      ("page_cache_evict",
+       [ ("ino", `I ino); ("index", `I index); ("pfn", `I pfn); ("cleared", `B cleared) ])
+    | Swap_out { pid; slot; pfn } ->
+      ("swap_out", [ ("pid", `I pid); ("slot", `I slot); ("pfn", `I pfn) ])
+    | Swap_in { pid; slot; pfn } ->
+      ("swap_in", [ ("pid", `I pid); ("slot", `I slot); ("pfn", `I pfn) ])
+    | Scan_started { mode } -> ("scan_started", [ ("mode", `S mode) ])
+    | Scan_finished { mode; hits; pages_scanned } ->
+      ("scan_finished",
+       [ ("mode", `S mode); ("hits", `I hits); ("pages_scanned", `I pages_scanned) ])
+
+  let json_field (k, v) =
+    match v with
+    | `S s -> Printf.sprintf "%S:%S" k s
+    | `I i -> Printf.sprintf "%S:%d" k i
+    | `B b -> Printf.sprintf "%S:%b" k b
+
+  let jsonl_of_record r =
+    let name, fields = fields_of_event r.event in
+    String.concat ","
+      (Printf.sprintf "{\"seq\":%d" r.seq
+       :: Printf.sprintf "\"tick\":%d" r.tick
+       :: Printf.sprintf "\"event\":%S" name
+       :: List.map json_field fields)
+    ^ "}"
+
+  let to_jsonl ctx =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun r ->
+        Buffer.add_string buf (jsonl_of_record r);
+        Buffer.add_char buf '\n')
+      (records ctx);
+    Buffer.contents buf
+
+  let to_chrome ctx =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "[";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_string buf ",\n " else Buffer.add_string buf "\n ";
+        let name, fields = fields_of_event r.event in
+        let pid =
+          match List.assoc_opt "pid" fields with Some (`I p) -> p | _ -> 0
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":%S,\"ph\":\"i\",\"s\":\"g\",\"ts\":%d,\"pid\":%d,\"tid\":0,\"args\":{%s}}"
+             name (r.tick * 1_000_000) pid
+             (String.concat "," (List.map json_field fields))))
+      (records ctx);
+    Buffer.add_string buf "\n]\n";
+    Buffer.contents buf
+end
+
+(* ---- metrics ---- *)
+
+module Metrics = struct
+  let incr ?(by = 1) ctx name =
+    if ctx.enabled_ then
+      match Hashtbl.find_opt ctx.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace ctx.counters name (ref by)
+
+  let observe ctx name v =
+    if ctx.enabled_ then
+      match Hashtbl.find_opt ctx.histograms name with
+      | Some r -> r := v :: !r
+      | None -> Hashtbl.replace ctx.histograms name (ref [ v ])
+
+  let counter ctx name =
+    match Hashtbl.find_opt ctx.counters name with Some r -> !r | None -> 0
+
+  let counters ctx =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) ctx.counters []
+    |> List.sort compare
+
+  let samples ctx name =
+    match Hashtbl.find_opt ctx.histograms name with
+    | Some r -> List.rev !r
+    | None -> []
+
+  let histograms ctx =
+    Hashtbl.fold (fun k _ acc -> k :: acc) ctx.histograms [] |> List.sort compare
+
+  let percentile values p =
+    match values with
+    | [] -> Float.nan
+    | _ ->
+      let sorted = List.sort compare values in
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+      List.nth sorted (min (n - 1) (max 0 (rank - 1)))
+
+  let reset ctx =
+    Hashtbl.reset ctx.counters;
+    Hashtbl.reset ctx.histograms
+
+  let dump fmt ctx =
+    Format.fprintf fmt "%-36s %12s@." "counter" "value";
+    List.iter (fun (k, v) -> Format.fprintf fmt "%-36s %12d@." k v) (counters ctx);
+    match histograms ctx with
+    | [] -> ()
+    | hs ->
+      Format.fprintf fmt "%-36s %8s %12s %12s %12s@." "histogram" "count" "p50" "p90" "max";
+      List.iter
+        (fun name ->
+          let vs = samples ctx name in
+          Format.fprintf fmt "%-36s %8d %12.6f %12.6f %12.6f@." name (List.length vs)
+            (percentile vs 50.) (percentile vs 90.) (percentile vs 100.))
+        hs
+
+  let to_json ctx =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"counters\": {";
+    List.iteri
+      (fun i (k, v) ->
+        Buffer.add_string buf (if i > 0 then ",\n    " else "\n    ");
+        Buffer.add_string buf (Printf.sprintf "%S: %d" k v))
+      (counters ctx);
+    Buffer.add_string buf "\n  },\n  \"histograms\": {";
+    List.iteri
+      (fun i name ->
+        let vs = samples ctx name in
+        Buffer.add_string buf (if i > 0 then ",\n    " else "\n    ");
+        Buffer.add_string buf
+          (Printf.sprintf "%S: {\"count\": %d, \"p50\": %.6f, \"p90\": %.6f, \"max\": %.6f}"
+             name (List.length vs) (percentile vs 50.) (percentile vs 90.)
+             (percentile vs 100.)))
+      (histograms ctx);
+    Buffer.add_string buf "\n  }\n}\n";
+    Buffer.contents buf
+end
+
+(* ---- provenance ---- *)
+
+module Provenance = struct
+  type nonrec info = info = { origin : origin; pid : int; birth_tick : int }
+
+  let clear ctx ~addr ~len =
+    if ctx.enabled_ && len > 0 then begin
+      let e = addr + len in
+      ctx.intervals <-
+        List.concat_map
+          (fun iv ->
+            let s = iv.start and ie = iv.start + iv.ilen in
+            if ie <= addr || s >= e then [ iv ]
+            else
+              (if s < addr then [ { iv with ilen = addr - s } ] else [])
+              @ (if ie > e then [ { start = e; ilen = ie - e; info = iv.info } ] else []))
+          ctx.intervals
+    end
+
+  let register ctx ~origin ~pid ~addr ~len =
+    if ctx.enabled_ && len > 0 then begin
+      clear ctx ~addr ~len;
+      ctx.intervals <-
+        { start = addr; ilen = len; info = { origin; pid; birth_tick = ctx.tick_ } }
+        :: ctx.intervals
+    end
+
+  let overlaps ctx ~addr ~len =
+    let e = addr + len in
+    List.filter_map
+      (fun iv ->
+        let s = max iv.start addr and ie = min (iv.start + iv.ilen) e in
+        if ie > s then Some (s - addr, ie - s, iv.info) else None)
+      ctx.intervals
+
+  let blit ctx ~src ~dst ~len =
+    if ctx.enabled_ && len > 0 then begin
+      let clones =
+        List.map
+          (fun (off, l, info) -> { start = dst + off; ilen = l; info })
+          (overlaps ctx ~addr:src ~len)
+      in
+      clear ctx ~addr:dst ~len;
+      ctx.intervals <- clones @ ctx.intervals
+    end
+
+  let stash ctx ~slot ~addr ~len =
+    if ctx.enabled_ then Hashtbl.replace ctx.stashes slot (overlaps ctx ~addr ~len)
+
+  let restore ctx ~slot ~addr ~len =
+    if ctx.enabled_ then begin
+      clear ctx ~addr ~len;
+      (match Hashtbl.find_opt ctx.stashes slot with
+       | Some entries ->
+         ctx.intervals <-
+           List.map (fun (off, l, info) -> { start = addr + off; ilen = l; info }) entries
+           @ ctx.intervals
+       | None -> ());
+      Hashtbl.remove ctx.stashes slot
+    end
+
+  let lookup ctx ~addr =
+    List.find_opt (fun iv -> iv.start <= addr && addr < iv.start + iv.ilen) ctx.intervals
+    |> Option.map (fun iv -> iv.info)
+
+  let count ctx = List.length ctx.intervals
+end

@@ -1,0 +1,169 @@
+(** Observability for the simulated machine: structured lifecycle tracing,
+    named metrics, and a provenance registry joining key-copy creation
+    sites with scanner hits.
+
+    The paper's analytical core (Sections 3–4) is {e attribution}: every
+    key copy found by [scanmemory] is traced back to the code path that
+    produced it — the PEM read buffer, DER temporaries, BIGNUM parts, the
+    Montgomery P/Q cache, the page cache, swap — and each countermeasure
+    is justified by which origin it kills.  This module makes that
+    attribution machine-checkable.
+
+    A {!ctx} is threaded through the whole stack ({!Memguard_vmm.Buddy},
+    [Kernel], [Page_cache], [Ssl]/[Sim_bn], [Scan_cache], [System]).  The
+    default everywhere is {!null}, a permanently disabled context on which
+    every operation is a constant-time no-op, so an untraced run behaves —
+    and costs — exactly as before.  Tracing records facts about the
+    simulation but never consumes randomness, allocates simulated memory,
+    or branches the simulated state: a traced run is byte-identical to an
+    untraced run at every snapshot (see the determinism guard test). *)
+
+(** Copy-site taxonomy, one tag per origin the paper attributes (Section 4,
+    Table "where key bytes transit"). *)
+type origin =
+  | Pem_buffer  (** the heap buffer the PEM key file is [read(2)] into *)
+  | Der_temp  (** the raw DER bytes the base64 decoder produces *)
+  | Bn_limbs  (** BIGNUM digit storage of d, p, q, dp, dq, qinv *)
+  | Mont_cache  (** the per-process Montgomery P/Q modulus cache *)
+  | Page_cache  (** file pages cached by the kernel *)
+  | Swap  (** a page written out to the swap device *)
+  | Heap_copy  (** other transient heap copies (passphrase, BN_CTX temps) *)
+
+val origin_name : origin -> string
+(** Lower-snake-case tag used in exports ([Pem_buffer] -> ["pem_buffer"]). *)
+
+val origin_of_name : string -> origin option
+
+val all_origins : origin list
+
+(** Typed lifecycle events.  Addresses are {e physical} (or swap-device
+    offsets for {!Swap_out}); a virtually contiguous buffer that spans
+    frames emits one event per physical chunk. *)
+type event =
+  | Copy_created of { origin : origin; pid : int; addr : int; len : int }
+  | Copy_zeroed of { origin : origin; pid : int; addr : int; len : int }
+  | Copy_freed_dirty of { origin : origin; pid : int; addr : int; len : int }
+      (** freed without zeroing: the bytes survive into reusable memory *)
+  | Cow_fault of { pid : int; src_pfn : int; dst_pfn : int }
+  | Page_cache_insert of { ino : int; index : int; pfn : int }
+  | Page_cache_evict of { ino : int; index : int; pfn : int; cleared : bool }
+  | Swap_out of { pid : int; slot : int; pfn : int }
+  | Swap_in of { pid : int; slot : int; pfn : int }
+  | Scan_started of { mode : string }
+  | Scan_finished of { mode : string; hits : int; pages_scanned : int }
+
+type record = { seq : int; tick : int; event : event }
+(** [seq] is a global monotone counter, [tick] the simulation time last
+    announced via {!set_tick} (scan snapshots set it to their [~time]). *)
+
+type ctx
+
+val null : ctx
+(** The permanently disabled context: every operation is a no-op, nothing
+    is ever recorded.  The default throughout the library. *)
+
+val create : ?ring_capacity:int -> unit -> ctx
+(** An enabled context.  [ring_capacity] (default [65536]) bounds the
+    event ring; when it overflows the {e oldest} events are dropped and
+    counted (see {!Trace.dropped}). *)
+
+val enabled : ctx -> bool
+
+val set_tick : ctx -> int -> unit
+(** Set the logical timestamp stamped on subsequent events. *)
+
+val tick : ctx -> int
+
+module Trace : sig
+  val emit : ctx -> event -> unit
+
+  val records : ctx -> record list
+  (** Retained records, oldest first. *)
+
+  val emitted : ctx -> int
+  (** Total events emitted (including dropped ones). *)
+
+  val dropped : ctx -> int
+  (** Events lost to ring overflow. *)
+
+  val jsonl_of_record : record -> string
+  (** One JSON object, no trailing newline. *)
+
+  val to_jsonl : ctx -> string
+  (** Newline-terminated JSONL, one object per retained record. *)
+
+  val to_chrome : ctx -> string
+  (** Chrome [trace_event] format (a JSON array of instant events, [ts] in
+      microseconds = tick * 1e6) — loadable in [about://tracing] / Perfetto. *)
+end
+
+module Metrics : sig
+  val incr : ?by:int -> ctx -> string -> unit
+  (** Bump a named monotonic counter (created on first use). *)
+
+  val observe : ctx -> string -> float -> unit
+  (** Append a sample to a named histogram. *)
+
+  val counter : ctx -> string -> int
+  (** Current value ([0] if never bumped). *)
+
+  val counters : ctx -> (string * int) list
+  (** Name-sorted. *)
+
+  val samples : ctx -> string -> float list
+  (** Histogram samples in insertion order ([[]] if absent). *)
+
+  val histograms : ctx -> string list
+  (** Histogram names, sorted. *)
+
+  val percentile : float list -> float -> float
+  (** [percentile samples p] — nearest-rank percentile, [p] in [0..100].
+      [nan] on an empty list. *)
+
+  val reset : ctx -> unit
+  (** Zero every counter and histogram (the trace ring is untouched). *)
+
+  val dump : Format.formatter -> ctx -> unit
+  (** Human-readable table: counters, then histograms as
+      [count / p50 / p90 / max]. *)
+
+  val to_json : ctx -> string
+end
+
+(** Registry of physical byte ranges known to hold copies of key-material,
+    keyed by origin.  Creation sites {!register} the range; zeroing sites
+    {!clear} it; COW duplication and swap round-trips {!blit} / {!stash} /
+    {!restore} it.  A scanner hit is attributed by {!lookup} on its
+    physical address. *)
+module Provenance : sig
+  type info = { origin : origin; pid : int; birth_tick : int }
+
+  val register : ctx -> origin:origin -> pid:int -> addr:int -> len:int -> unit
+  (** Record that [\[addr, addr+len)] (physical) now holds a copy born at
+      the current tick.  Overlapping older intervals are superseded. *)
+
+  val clear : ctx -> addr:int -> len:int -> unit
+  (** The bytes were destroyed (zeroed or overwritten by a cleared frame):
+      drop — and where partially covered, trim — overlapping intervals. *)
+
+  val blit : ctx -> src:int -> dst:int -> len:int -> unit
+  (** Physical copy (COW break): clone every interval overlapping
+      [\[src, src+len)] onto the destination range, preserving origin,
+      pid and birth tick. *)
+
+  val stash : ctx -> slot:int -> addr:int -> len:int -> unit
+  (** Save the intervals overlapping a frame about to be swapped out,
+      keyed by swap slot (offsets relative to [addr]).  The in-RAM
+      intervals are left in place: the frame content survives into the
+      free lists. *)
+
+  val restore : ctx -> slot:int -> addr:int -> len:int -> unit
+  (** Swap-in: clear [\[addr, addr+len)] and re-register the stashed
+      intervals there with their original identity. *)
+
+  val lookup : ctx -> addr:int -> info option
+  (** The interval containing physical [addr], if any. *)
+
+  val count : ctx -> int
+  (** Live intervals (diagnostics). *)
+end

@@ -11,6 +11,17 @@ type t = {
   page_hits : (int * int) list array; (* per page: (addr, pat), ascending, match *starts* here *)
   mutable last_scanned : int;
   mutable total_scanned : int;
+  mutable scans : int;
+  mutable last_clean : int;
+  mutable total_clean : int;
+}
+
+type stats = {
+  scans : int;
+  last_pages_scanned : int;
+  total_pages_scanned : int;
+  last_clean_pages : int;
+  total_clean_pages : int;
 }
 
 let create kernel ~patterns =
@@ -27,12 +38,30 @@ let create kernel ~patterns =
     gens = Array.make np (-1);
     page_hits = Array.make np [];
     last_scanned = 0;
-    total_scanned = 0
+    total_scanned = 0;
+    scans = 0;
+    last_clean = 0;
+    total_clean = 0
   }
 
 let patterns t = t.patterns
 let last_pages_scanned t = t.last_scanned
 let total_pages_scanned t = t.total_scanned
+
+let stats (t : t) =
+  { scans = t.scans;
+    last_pages_scanned = t.last_scanned;
+    total_pages_scanned = t.total_scanned;
+    last_clean_pages = t.last_clean;
+    total_clean_pages = t.total_clean
+  }
+
+let reset_stats (t : t) =
+  t.scans <- 0;
+  t.last_scanned <- 0;
+  t.total_scanned <- 0;
+  t.last_clean <- 0;
+  t.total_clean <- 0
 
 let refresh t =
   let mem = Kernel.mem t.kernel in
@@ -83,7 +112,10 @@ let refresh t =
     end
   done;
   t.last_scanned <- !scanned;
-  t.total_scanned <- t.total_scanned + !scanned
+  t.total_scanned <- t.total_scanned + !scanned;
+  t.scans <- t.scans + 1;
+  t.last_clean <- np - !scanned;
+  t.total_clean <- t.total_clean + (np - !scanned)
 
 let scan t =
   refresh t;

@@ -28,3 +28,23 @@ val last_pages_scanned : t -> int
 
 val total_pages_scanned : t -> int
 (** Cumulative pages swept over the cache's lifetime. *)
+
+(** {1 Hit/miss statistics}
+
+    A page the cache skipped (generation unchanged since its last sweep)
+    is a cache {e hit}; a swept page is a {e miss}.  Hit rate over a run
+    is [total_clean_pages / (total_clean_pages + total_pages_scanned)]. *)
+
+type stats = {
+  scans : int;  (** number of {!scan} calls since creation / {!reset_stats} *)
+  last_pages_scanned : int;  (** pages swept by the most recent scan (misses) *)
+  total_pages_scanned : int;  (** cumulative pages swept *)
+  last_clean_pages : int;  (** pages skipped by the most recent scan (hits) *)
+  total_clean_pages : int;  (** cumulative pages skipped *)
+}
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero every counter in {!stats}.  The cached per-page hit lists and
+    generations are untouched — subsequent scans stay incremental. *)

@@ -1,19 +1,26 @@
 open Memguard_kernel
 open Memguard_bignum
+module Obs = Memguard_obs.Obs
 
-type t = { mutable data : int; mutable size : int; mutable static_data : bool }
+type t = {
+  mutable data : int;
+  mutable size : int;
+  mutable static_data : bool;
+  origin : Obs.origin;
+}
 
 let bytes_of bn =
   if Bn.sign bn < 0 then invalid_arg "Sim_bn: negative value";
   let s = Bn.to_bytes_be bn in
   if s = "" then "\000" else s
 
-let alloc k proc bn =
+let alloc ?(origin = Obs.Bn_limbs) k proc bn =
   let payload = bytes_of bn in
   let size = String.length payload in
   let data = Kernel.malloc k proc size in
   Kernel.write_mem k proc ~addr:data payload;
-  { data; size; static_data = false }
+  Kernel.note_copy k proc ~origin ~addr:data ~len:size;
+  { data; size; static_data = false; origin }
 
 let value k proc t =
   Bn.of_bytes_be (Kernel.read_mem k proc ~addr:t.data ~len:t.size)
@@ -26,9 +33,14 @@ let store k proc t bn =
 let clear_free k proc t =
   if not t.static_data then begin
     Kernel.zero_mem k proc ~addr:t.data ~len:t.size;
+    Kernel.note_zeroed k proc ~origin:t.origin ~addr:t.data ~len:t.size;
     Kernel.free k proc t.data
   end
 
-let free_insecure k proc t = if not t.static_data then Kernel.free k proc t.data
+let free_insecure k proc t =
+  if not t.static_data then begin
+    Kernel.note_freed_dirty k proc ~origin:t.origin ~addr:t.data ~len:t.size;
+    Kernel.free k proc t.data
+  end
 
 let pattern k proc t = Kernel.read_mem k proc ~addr:t.data ~len:t.size

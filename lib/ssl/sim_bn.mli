@@ -17,11 +17,15 @@ type t = {
   mutable static_data : bool;
       (** OpenSSL's [BN_FLG_STATIC_DATA]: storage is owned by someone else
           (the aligned key region); [clear_free] must not touch it *)
+  origin : Memguard_obs.Obs.origin;
+      (** provenance tag for the copy held in [data] (observability) *)
 }
 
-val alloc : Kernel.t -> Proc.t -> Memguard_bignum.Bn.t -> t
+val alloc : ?origin:Memguard_obs.Obs.origin -> Kernel.t -> Proc.t -> Memguard_bignum.Bn.t -> t
 (** malloc a buffer in the process heap and store the value's magnitude.
-    The value must be non-negative. *)
+    The value must be non-negative.  [origin] (default [Bn_limbs]) tags the
+    copy in the trace / provenance registry: pass [Mont_cache] for
+    Montgomery-context copies, [Heap_copy] for BN_CTX temporaries. *)
 
 val value : Kernel.t -> Proc.t -> t -> Memguard_bignum.Bn.t
 (** Read the magnitude back out of simulated memory. *)

@@ -23,7 +23,10 @@ let memory_align k proc t =
     Kernel.mlock k proc ~addr:region ~len:region_size;
     let payload = Kernel.read_mem k proc ~addr:t.x.Sim_bn.data ~len:t.x.Sim_bn.size in
     Kernel.write_mem k proc ~addr:region payload;
+    Kernel.note_copy k proc ~origin:t.x.Sim_bn.origin ~addr:region ~len:t.x.Sim_bn.size;
     Kernel.zero_mem k proc ~addr:t.x.Sim_bn.data ~len:t.x.Sim_bn.size;
+    Kernel.note_zeroed k proc ~origin:t.x.Sim_bn.origin ~addr:t.x.Sim_bn.data
+      ~len:t.x.Sim_bn.size;
     Kernel.free k proc t.x.Sim_bn.data;
     t.x.Sim_bn.data <- region;
     t.x.Sim_bn.static_data <- true;

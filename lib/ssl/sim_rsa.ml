@@ -1,6 +1,7 @@
 open Memguard_kernel
 open Memguard_bignum
 module Rsa = Memguard_crypto.Rsa
+module Obs = Memguard_obs.Obs
 
 type t = {
   pub : Rsa.public;
@@ -45,8 +46,8 @@ let populate_mont_cache k (proc : Proc.t) t =
   (* BN_MONT_CTX_set copies the modulus (p, q) into the context, in the
      heap of whichever process performs the operation *)
   if not (Hashtbl.mem t.mont proc.Proc.pid) then begin
-    let mp = Sim_bn.alloc k proc (Sim_bn.value k proc t.p) in
-    let mq = Sim_bn.alloc k proc (Sim_bn.value k proc t.q) in
+    let mp = Sim_bn.alloc ~origin:Obs.Mont_cache k proc (Sim_bn.value k proc t.p) in
+    let mq = Sim_bn.alloc ~origin:Obs.Mont_cache k proc (Sim_bn.value k proc t.q) in
     Hashtbl.replace t.mont proc.Proc.pid (mp, mq)
   end
 
@@ -67,9 +68,9 @@ let private_op k proc t c =
   let result = Bn.add m2 (Bn.mul h q) in
   (* BN_CTX temporaries: reduced intermediates (not key parts) that are
      freed WITHOUT zeroing — realistic allocator churn in the heap *)
-  let t1 = Sim_bn.alloc k proc m1 in
-  let t2 = Sim_bn.alloc k proc m2 in
-  let t3 = Sim_bn.alloc k proc (Bn.abs h) in
+  let t1 = Sim_bn.alloc ~origin:Obs.Heap_copy k proc m1 in
+  let t2 = Sim_bn.alloc ~origin:Obs.Heap_copy k proc m2 in
+  let t3 = Sim_bn.alloc ~origin:Obs.Heap_copy k proc (Bn.abs h) in
   Sim_bn.free_insecure k proc t3;
   Sim_bn.free_insecure k proc t2;
   Sim_bn.free_insecure k proc t1;
@@ -92,8 +93,11 @@ let memory_align k proc t =
       (fun (b : Sim_bn.t) ->
         let payload = Kernel.read_mem k proc ~addr:b.Sim_bn.data ~len:b.Sim_bn.size in
         Kernel.write_mem k proc ~addr:!cursor payload;
+        Kernel.note_copy k proc ~origin:b.Sim_bn.origin ~addr:!cursor ~len:b.Sim_bn.size;
         (* zero and free the original location *)
         Kernel.zero_mem k proc ~addr:b.Sim_bn.data ~len:b.Sim_bn.size;
+        Kernel.note_zeroed k proc ~origin:b.Sim_bn.origin ~addr:b.Sim_bn.data
+          ~len:b.Sim_bn.size;
         Kernel.free k proc b.Sim_bn.data;
         b.Sim_bn.data <- !cursor;
         b.Sim_bn.static_data <- true;

@@ -2,6 +2,7 @@ open Memguard_kernel
 module Rsa = Memguard_crypto.Rsa
 module Dsa = Memguard_crypto.Dsa
 module Pem = Memguard_crypto.Pem
+module Obs = Memguard_obs.Obs
 
 type mode = Vanilla | Hardened
 
@@ -10,6 +11,7 @@ let write_key_file k ~path priv = Kernel.write_file k ~path (Rsa.pem_of_priv pri
 let load_private_key k proc ~path ?(nocache = false) ?passphrase mode =
   (* read(2) the PEM file into a fresh heap buffer (and the page cache) *)
   let pem_buf, pem_len = Kernel.read_file k proc ~path ~nocache in
+  Kernel.note_copy k proc ~origin:Obs.Pem_buffer ~addr:pem_buf ~len:pem_len;
   let pem_text = Kernel.read_mem k proc ~addr:pem_buf ~len:pem_len in
   (* an encrypted key file pulls the passphrase into process memory: the
      prompt writes it into a heap buffer before the KDF runs *)
@@ -18,6 +20,7 @@ let load_private_key k proc ~path ?(nocache = false) ?passphrase mode =
     | Some pass when String.length pass > 0 ->
       let buf = Kernel.malloc k proc (String.length pass) in
       Kernel.write_mem k proc ~addr:buf pass;
+      Kernel.note_copy k proc ~origin:Obs.Heap_copy ~addr:buf ~len:(String.length pass);
       Some (buf, String.length pass)
     | _ -> None
   in
@@ -36,6 +39,7 @@ let load_private_key k proc ~path ?(nocache = false) ?passphrase mode =
   (* the base64 decoder writes the raw DER into another heap buffer *)
   let der_buf = Kernel.malloc k proc (String.length der) in
   Kernel.write_mem k proc ~addr:der_buf der;
+  Kernel.note_copy k proc ~origin:Obs.Der_temp ~addr:der_buf ~len:(String.length der);
   let priv =
     match Rsa.priv_of_der der with
     | Ok priv -> priv
@@ -47,17 +51,28 @@ let load_private_key k proc ~path ?(nocache = false) ?passphrase mode =
    | Vanilla ->
      (* the shipped code frees its work buffers without clearing them: the
         PEM text, the DER bytes — and the passphrase — stay in the heap *)
+     Kernel.note_freed_dirty k proc ~origin:Obs.Pem_buffer ~addr:pem_buf ~len:pem_len;
      Kernel.free k proc pem_buf;
+     Kernel.note_freed_dirty k proc ~origin:Obs.Der_temp ~addr:der_buf
+       ~len:(String.length der);
      Kernel.free k proc der_buf;
-     (match pass_buf with Some (buf, _) -> Kernel.free k proc buf | None -> ())
+     (match pass_buf with
+      | Some (buf, len) ->
+        Kernel.note_freed_dirty k proc ~origin:Obs.Heap_copy ~addr:buf ~len;
+        Kernel.free k proc buf
+      | None -> ())
    | Hardened ->
      Kernel.zero_mem k proc ~addr:pem_buf ~len:pem_len;
+     Kernel.note_zeroed k proc ~origin:Obs.Pem_buffer ~addr:pem_buf ~len:pem_len;
      Kernel.free k proc pem_buf;
      Kernel.zero_mem k proc ~addr:der_buf ~len:(String.length der);
+     Kernel.note_zeroed k proc ~origin:Obs.Der_temp ~addr:der_buf
+       ~len:(String.length der);
      Kernel.free k proc der_buf;
      (match pass_buf with
       | Some (buf, len) ->
         Kernel.zero_mem k proc ~addr:buf ~len;
+        Kernel.note_zeroed k proc ~origin:Obs.Heap_copy ~addr:buf ~len;
         Kernel.free k proc buf
       | None -> ());
      Sim_rsa.memory_align k proc rsa);
@@ -67,6 +82,7 @@ let write_dsa_key_file k ~path priv = Kernel.write_file k ~path (Dsa.pem_of_priv
 
 let load_dsa_private_key k proc ~path ?(nocache = false) mode =
   let pem_buf, pem_len = Kernel.read_file k proc ~path ~nocache in
+  Kernel.note_copy k proc ~origin:Obs.Pem_buffer ~addr:pem_buf ~len:pem_len;
   let pem_text = Kernel.read_mem k proc ~addr:pem_buf ~len:pem_len in
   let der =
     match Pem.decode ~label:Dsa.pem_label pem_text with
@@ -75,6 +91,7 @@ let load_dsa_private_key k proc ~path ?(nocache = false) mode =
   in
   let der_buf = Kernel.malloc k proc (String.length der) in
   Kernel.write_mem k proc ~addr:der_buf der;
+  Kernel.note_copy k proc ~origin:Obs.Der_temp ~addr:der_buf ~len:(String.length der);
   let priv =
     match Dsa.priv_of_der der with
     | Ok priv -> priv
@@ -83,12 +100,18 @@ let load_dsa_private_key k proc ~path ?(nocache = false) mode =
   let dsa = Sim_dsa.of_priv k proc priv in
   (match mode with
    | Vanilla ->
+     Kernel.note_freed_dirty k proc ~origin:Obs.Pem_buffer ~addr:pem_buf ~len:pem_len;
      Kernel.free k proc pem_buf;
+     Kernel.note_freed_dirty k proc ~origin:Obs.Der_temp ~addr:der_buf
+       ~len:(String.length der);
      Kernel.free k proc der_buf
    | Hardened ->
      Kernel.zero_mem k proc ~addr:pem_buf ~len:pem_len;
+     Kernel.note_zeroed k proc ~origin:Obs.Pem_buffer ~addr:pem_buf ~len:pem_len;
      Kernel.free k proc pem_buf;
      Kernel.zero_mem k proc ~addr:der_buf ~len:(String.length der);
+     Kernel.note_zeroed k proc ~origin:Obs.Der_temp ~addr:der_buf
+       ~len:(String.length der);
      Kernel.free k proc der_buf;
      Sim_dsa.memory_align k proc dsa);
   dsa

@@ -1,4 +1,5 @@
 module Iset = Set.Make (Int)
+module Obs = Memguard_obs.Obs
 
 let max_order = 10
 
@@ -10,9 +11,10 @@ type t = {
   mutable hot_members : Iset.t;  (* same contents, for membership tests *)
   mutable zero_on_free : bool;
   mutable free_count : int;
+  obs : Obs.ctx;
 }
 
-let create ?(zero_on_free = false) mem =
+let create ?(zero_on_free = false) ?(obs = Obs.null) mem =
   let n = Phys_mem.num_pages mem in
   let t =
     { mem;
@@ -21,7 +23,8 @@ let create ?(zero_on_free = false) mem =
       hot = [];
       hot_members = Iset.empty;
       zero_on_free;
-      free_count = n
+      free_count = n;
+      obs
     }
   in
   (* carve the whole of memory into the largest aligned blocks *)
@@ -43,6 +46,7 @@ let zero_on_free t = t.zero_on_free
 let set_zero_on_free t v = t.zero_on_free <- v
 
 let mark_allocated t pfn order =
+  Obs.Metrics.incr ~by:(1 lsl order) t.obs "buddy.alloc_pages";
   Hashtbl.replace t.allocated pfn order;
   for i = pfn to pfn + (1 lsl order) - 1 do
     let p = Phys_mem.page t.mem i in
@@ -123,13 +127,19 @@ let free t ~pfn ~order =
    | Some o when o <> order -> invalid_arg "Buddy.free: order mismatch"
    | Some _ -> ());
   Hashtbl.remove t.allocated pfn;
+  Obs.Metrics.incr ~by:(1 lsl order) t.obs "buddy.free_pages";
   for i = pfn to pfn + (1 lsl order) - 1 do
     let p = Phys_mem.page t.mem i in
     p.Page.owner <- Page.Free;
     p.Page.refcount <- 0;
     p.Page.locked <- false;
     (* the paper's kernel patch: clear_highpage before entering free lists *)
-    if t.zero_on_free then Phys_mem.clear_frame t.mem i
+    if t.zero_on_free then begin
+      Phys_mem.clear_frame t.mem i;
+      Obs.Metrics.incr ~by:(Phys_mem.page_size t.mem) t.obs "buddy.zero_on_free_bytes";
+      Obs.Provenance.clear t.obs ~addr:(Phys_mem.addr_of_pfn t.mem i)
+        ~len:(Phys_mem.page_size t.mem)
+    end
   done;
   t.free_count <- t.free_count + (1 lsl order);
   if order = 0 then begin

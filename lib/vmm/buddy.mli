@@ -19,9 +19,12 @@ type t
 val max_order : int
 (** Largest block order (10, as in Linux: 4 MiB blocks with 4 KiB pages). *)
 
-val create : ?zero_on_free:bool -> Phys_mem.t -> t
+val create : ?zero_on_free:bool -> ?obs:Memguard_obs.Obs.ctx -> Phys_mem.t -> t
 (** All of [mem] starts free.  [zero_on_free] defaults to [false] (the
-    vanilla kernel). *)
+    vanilla kernel).  [obs] (default {!Memguard_obs.Obs.null}) receives
+    [buddy.alloc_pages] / [buddy.free_pages] / [buddy.zero_on_free_bytes]
+    counters; zero-on-free also retires provenance intervals on the
+    cleared frames. *)
 
 val zero_on_free : t -> bool
 val set_zero_on_free : t -> bool -> unit

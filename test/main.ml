@@ -14,6 +14,8 @@ let () =
          Test_scan.suite;
          Test_scan_extra.suite;
          Test_scan_cache.suite;
+         Test_report_diff.suite;
+         Test_obs.suite;
          Test_attack.suite;
          Test_apps.suite;
          Test_proto.suite;
