@@ -272,6 +272,32 @@ let scan_engine_bench () =
   Format.printf "wrote BENCH_scan.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Part 1c: chaos-campaign throughput (--chaos)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* ops/sec of the fault-injection harness with its per-op structural audit
+   and (at the guaranteeing levels) per-op incremental confinement scan —
+   the number that decides how many seeds CI can afford *)
+let chaos_bench () =
+  section "chaos campaign throughput (per-op audit + confinement oracle)";
+  let module Campaign = Memguard_fault.Campaign in
+  let ops = 400 in
+  Format.printf "%-20s %10s %12s %10s %8s@." "level" "ops" "wall s" "ops/s" "ooms";
+  List.iter
+    (fun level ->
+      let cfg = { Campaign.default_config with Campaign.seed = 13; level; ops } in
+      let t0 = Unix.gettimeofday () in
+      let r = Campaign.run cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "%-20s %10d %12.3f %10.0f %8d%s@." (Protection.name level)
+        r.Campaign.ops_run dt
+        (float_of_int r.Campaign.ops_run /. dt)
+        r.Campaign.ooms
+        (if Campaign.passed r then "" else "  FAIL"))
+    [ Protection.Unprotected; Protection.Secure_dealloc; Protection.Kernel_level;
+      Protection.Integrated ]
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -426,12 +452,17 @@ let () =
   let skip_figures = List.mem "--skip-figures" args in
   let skip_micro = List.mem "--skip-micro" args in
   let json = List.mem "--json" args in
+  let chaos = List.mem "--chaos" args in
   Format.printf
     "memguard benchmark harness — Harrison & Xu, DSN'07 reproduction@.\
      (shapes, not absolute values, are the comparison target; see EXPERIMENTS.md)@.";
   if json then scan_engine_bench ()
+  else if chaos then chaos_bench ()
   else begin
-    if not skip_figures then figures ();
+    if not skip_figures then begin
+      figures ();
+      chaos_bench ()
+    end;
     if not skip_micro then run_micro ()
   end;
   Format.printf "@.done.@."

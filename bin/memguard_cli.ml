@@ -303,6 +303,87 @@ let levels_cmd =
   in
   Cmd.v (Cmd.info "levels" ~doc:"List the protection levels") Term.(const run $ const ())
 
+let chaos_cmd =
+  let module Campaign = Memguard_fault.Campaign in
+  let campaign_levels =
+    [ Protection.Unprotected; Protection.Secure_dealloc; Protection.Kernel_level;
+      Protection.Integrated ]
+  in
+  let run seeds seed level ops pages swap scan_every show_log =
+    let config seed level =
+      { Campaign.seed; level; ops; num_pages = pages; swap_slots = swap; scan_every }
+    in
+    let failures = ref 0 in
+    let run_one cfg =
+      let r = Campaign.run cfg in
+      if Campaign.passed r then Format.printf "%a@." Campaign.pp_summary r
+      else begin
+        incr failures;
+        Format.printf "%a" Campaign.pp_failure r
+      end;
+      r
+    in
+    (match seed with
+     | Some seed ->
+       (* single-seed replay: same seed, same op/audit log, byte for byte *)
+       let r = run_one (config seed level) in
+       if show_log then List.iter print_endline r.Campaign.log
+     | None ->
+       Format.printf "# chaos: %d seed(s) x %d ops at %d pages (swap %d)@." seeds ops
+         pages swap;
+       List.iter
+         (fun level ->
+           for seed = 0 to seeds - 1 do
+             ignore (run_one (config seed level))
+           done)
+         campaign_levels;
+       Format.printf "# %d campaign(s), %d failure(s)@."
+         (seeds * List.length campaign_levels)
+         !failures);
+    if !failures > 0 then Stdlib.exit 1
+  in
+  let seeds_arg =
+    Arg.(value & opt int 25
+         & info [ "seeds" ] ~docv:"N"
+             ~doc:"Sweep seeds 0..N-1 across the unprotected, secure-dealloc, kernel \
+                   and integrated levels.")
+  in
+  let one_seed_arg =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Replay a single campaign with this seed at --level (overrides --seeds).")
+  in
+  let ops_arg =
+    Arg.(value & opt int Campaign.default_config.Campaign.ops
+         & info [ "ops" ] ~docv:"N" ~doc:"Operations per campaign.")
+  in
+  let swap_arg =
+    Arg.(value & opt int Campaign.default_config.Campaign.swap_slots
+         & info [ "swap" ] ~docv:"N" ~doc:"Swap device size in pages.")
+  in
+  let scan_every_arg =
+    Arg.(value & opt int Campaign.default_config.Campaign.scan_every
+         & info [ "scan-every" ] ~docv:"N"
+             ~doc:"Confinement-oracle cadence (scan after every N-th op).")
+  in
+  let log_arg =
+    Arg.(value & flag
+         & info [ "log" ] ~doc:"Print the full op/audit trace (single-seed mode).")
+  in
+  let chaos_level_arg =
+    Arg.(value & opt level_conv Protection.Integrated
+         & info [ "l"; "level" ] ~docv:"LEVEL" ~doc:"Protection level (single-seed mode).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic fault-injection campaigns: seeded random kernel-op \
+          interleavings under memory pressure, with an invariant audit and \
+          confinement oracle after every op")
+    Term.(const run $ seeds_arg $ one_seed_arg $ chaos_level_arg $ ops_arg
+          $ pages_arg Memguard_fault.Campaign.default_config.Memguard_fault.Campaign.num_pages
+          $ swap_arg $ scan_every_arg $ log_arg)
+
 let main =
   Cmd.group
     (Cmd.info "memguard" ~version:"1.0.0"
@@ -310,6 +391,6 @@ let main =
          "Reproduction of Harrison & Xu, 'Protecting Cryptographic Keys from Memory \
           Disclosure Attacks' (DSN'07)")
     [ timeline_cmd; ext2_cmd; tty_cmd; before_after_cmd; perf_cmd; ablations_cmd; dat_cmd;
-      levels_cmd ]
+      levels_cmd; chaos_cmd ]
 
 let () = Stdlib.exit (Cmd.eval main)

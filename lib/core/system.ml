@@ -54,13 +54,16 @@ let boot_noise kernel rng =
   done
 
 let create ?(num_pages = 8192) ?(key_bits = 256) ?(seed = 1) ?(noise = true)
-    ?(scan_mode = Incremental) ?(obs = Obs.null) ~level () =
+    ?(scan_mode = Incremental) ?(obs = Obs.null) ?(swap_slots = 0) ?(swap_encrypt = false)
+    ~level () =
   let rng_ = Prng.of_int seed in
   let config =
     { Kernel.default_config with
       num_pages;
       zero_on_free = Protection.kernel_zero_on_free level;
-      secure_dealloc = Protection.kernel_secure_dealloc level
+      secure_dealloc = Protection.kernel_secure_dealloc level;
+      swap_slots;
+      swap_encrypt
     }
   in
   let kernel_ = Kernel.create ~config ~obs () in

@@ -27,6 +27,8 @@ val create :
   ?noise:bool ->
   ?scan_mode:scan_mode ->
   ?obs:Memguard_obs.Obs.ctx ->
+  ?swap_slots:int ->
+  ?swap_encrypt:bool ->
   level:Protection.level ->
   unit ->
   t
@@ -41,7 +43,10 @@ val create :
     is threaded through every layer — kernel, allocator, page cache, SSL
     library, scanner — collecting the key-copy lifecycle trace, subsystem
     metrics, and per-hit provenance; with the default disabled context the
-    simulation is byte-identical to an uninstrumented run. *)
+    simulation is byte-identical to an uninstrumented run.  [swap_slots]
+    (default [0] = no swap device) and [swap_encrypt] configure a swap
+    device so memory pressure swaps rather than OOMs — used by the
+    fault-injection campaigns to reach swap-out edge paths. *)
 
 val kernel : t -> Kernel.t
 val level : t -> Protection.level

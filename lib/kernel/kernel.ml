@@ -194,17 +194,30 @@ let resolve_for_read t (p : Proc.t) ~vpn =
   | Some (Proc.Present pr) -> pr
   | Some (Proc.Swapped slot) -> swap_in t p ~vpn ~slot
 
+(* does any Present PTE of a live process still pin this frame? *)
+let frame_has_locked_pte t pfn =
+  List.exists
+    (fun (p : Proc.t) ->
+      List.exists
+        (fun vpn ->
+          match Proc.find_pte p ~vpn with
+          | Some (Proc.Present q) -> q.Proc.pfn = pfn && q.Proc.locked
+          | _ -> false)
+        (Proc.mapped_vpns p))
+    (live_procs t)
+
 let cow_break t ~pid (pr : Proc.present) =
   let page = Phys_mem.page t.mem pr.Proc.pfn in
   if page.Page.refcount > 1 then begin
+    let src_pfn = pr.Proc.pfn in
     let new_pfn = alloc_frame t in
-    Phys_mem.blit_frame t.mem ~src_pfn:pr.Proc.pfn ~dst_pfn:new_pfn;
+    Phys_mem.blit_frame t.mem ~src_pfn ~dst_pfn:new_pfn;
     (* the duplicated frame carries whatever key bytes the original held:
        clone their provenance so scanner hits in the copy still attribute *)
-    Obs.Trace.emit t.obs (Obs.Cow_fault { pid; src_pfn = pr.Proc.pfn; dst_pfn = new_pfn });
+    Obs.Trace.emit t.obs (Obs.Cow_fault { pid; src_pfn; dst_pfn = new_pfn });
     Obs.Metrics.incr t.obs "kernel.cow_faults";
     Obs.Provenance.blit t.obs
-      ~src:(Phys_mem.addr_of_pfn t.mem pr.Proc.pfn)
+      ~src:(Phys_mem.addr_of_pfn t.mem src_pfn)
       ~dst:(Phys_mem.addr_of_pfn t.mem new_pfn)
       ~len:t.cfg.page_size;
     page.Page.refcount <- page.Page.refcount - 1;
@@ -212,7 +225,11 @@ let cow_break t ~pid (pr : Proc.present) =
     np.Page.owner <- Page.Anon;
     np.Page.refcount <- 1;
     np.Page.locked <- pr.Proc.locked;
-    pr.Proc.pfn <- new_pfn
+    pr.Proc.pfn <- new_pfn;
+    (* the departing writer may have been the only locked mapping of the
+       source frame: recompute so an unrelated owner's frame is not left
+       pinned forever *)
+    if pr.Proc.locked then page.Page.locked <- frame_has_locked_pte t src_pfn
   end;
   pr.Proc.cow <- false
 
@@ -398,13 +415,6 @@ let spawn t ~name =
   p
 
 let fork t (parent : Proc.t) =
-  (* bring swapped pages back so COW sharing is uniform *)
-  List.iter
-    (fun vpn ->
-      match Proc.find_pte parent ~vpn with
-      | Some (Proc.Swapped slot) -> ignore (swap_in t parent ~vpn ~slot)
-      | _ -> ())
-    (Proc.mapped_vpns parent);
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
   let child = Proc.create ~pid ~name:parent.Proc.name ~parent:(Some parent.Proc.pid) in
@@ -412,21 +422,46 @@ let fork t (parent : Proc.t) =
   child.Proc.heap_pages <- parent.Proc.heap_pages;
   child.Proc.free_list <- parent.Proc.free_list;
   Hashtbl.iter (fun off size -> Hashtbl.replace child.Proc.allocs off size) parent.Proc.allocs;
-  List.iter
-    (fun vpn ->
-      match Proc.find_pte parent ~vpn with
-      | Some (Proc.Present pr) ->
-        pr.Proc.cow <- true;
-        let page = Phys_mem.page t.mem pr.Proc.pfn in
-        page.Page.refcount <- page.Page.refcount + 1;
-        Hashtbl.replace child.Proc.page_table vpn
-          (Proc.Present { pfn = pr.Proc.pfn; cow = true; locked = pr.Proc.locked })
-      | Some (Proc.Swapped _) | None -> ())
-    (Proc.mapped_vpns parent);
+  (* Share each parent page COW, re-resolving the PTE at share time: a
+     swap-in performed for an earlier vpn can itself trigger try_swap_out
+     and re-swap a page a one-shot prologue walk had already passed, which
+     would silently drop that mapping from the child.  Swapping in at the
+     moment of sharing closes the race — once shared the frame's refcount
+     is 2, so it can no longer be picked as a swap victim. *)
+  (try
+     List.iter
+       (fun vpn ->
+         let pr =
+           match Proc.find_pte parent ~vpn with
+           | Some (Proc.Present pr) -> pr
+           | Some (Proc.Swapped slot) -> swap_in t parent ~vpn ~slot
+           | None -> assert false (* PTEs are never removed *)
+         in
+         pr.Proc.cow <- true;
+         let page = Phys_mem.page t.mem pr.Proc.pfn in
+         page.Page.refcount <- page.Page.refcount + 1;
+         Hashtbl.replace child.Proc.page_table vpn
+           (Proc.Present { pfn = pr.Proc.pfn; cow = true; locked = pr.Proc.locked }))
+       (Proc.mapped_vpns parent)
+   with e ->
+     (* fork failed (ENOMEM mid-walk): unwind the partial address space so
+        refcounts stay consistent, as fork(2) does on -ENOMEM *)
+     Hashtbl.iter
+       (fun _ pte ->
+         match pte with
+         | Proc.Present pr ->
+           let page = Phys_mem.page t.mem pr.Proc.pfn in
+           page.Page.refcount <- page.Page.refcount - 1
+         | Proc.Swapped _ -> ())
+       child.Proc.page_table;
+     Hashtbl.reset child.Proc.page_table;
+     raise e);
   register t child;
   child
 
 let exit t (p : Proc.t) =
+  (* deregister first so the lock recomputation below only sees survivors *)
+  Hashtbl.remove t.procs p.Proc.pid;
   List.iter
     (fun vpn ->
       match Proc.find_pte p ~vpn with
@@ -436,14 +471,17 @@ let exit t (p : Proc.t) =
         if page.Page.refcount = 0 then
           (* frame content survives into the free lists unless zero_on_free *)
           Buddy.free_page t.buddy pr.Proc.pfn
+        else if pr.Proc.locked then
+          (* the exiting process may have held the only lock on a frame it
+             shared: recompute instead of leaving the frame pinned *)
+          page.Page.locked <- frame_has_locked_pte t pr.Proc.pfn
       | Some (Proc.Swapped slot) ->
         (* slot released; its content persists on the swap device *)
         (match t.swap with Some sw -> Swap.release sw slot | None -> ())
       | None -> ())
     (Proc.mapped_vpns p);
   Hashtbl.reset p.Proc.page_table;
-  p.Proc.alive <- false;
-  Hashtbl.remove t.procs p.Proc.pid
+  p.Proc.alive <- false
 
 (* ---- files ---- *)
 
@@ -457,15 +495,23 @@ let read_file t (p : Proc.t) ~path ~nocache =
     let ps = t.cfg.page_size in
     let len = String.length content in
     let npages = max 1 ((len + ps - 1) / ps) in
-    (* populate the page cache page by page *)
+    (* populate the page cache page by page.  A failed insert reclaims —
+       swap out, then evict another cached page — and retries, exactly as
+       [alloc_frame] does; a busy machine must not spuriously OOM a read. *)
     for index = 0 to npages - 1 do
       match Page_cache.lookup t.page_cache ~ino ~index with
       | Some _ -> ()
       | None ->
         let chunk = String.sub content (index * ps) (min ps (len - (index * ps))) in
-        (match Page_cache.insert t.page_cache ~ino ~index chunk with
-         | Some _ -> ()
-         | None -> raise Out_of_memory)
+        let rec insert_with_reclaim () =
+          match Page_cache.insert t.page_cache ~ino ~index chunk with
+          | Some _ -> ()
+          | None ->
+            if try_swap_out t then insert_with_reclaim ()
+            else if Page_cache.evict_lru t.page_cache then insert_with_reclaim ()
+            else raise Out_of_memory
+        in
+        insert_with_reclaim ()
     done;
     (* copy into a fresh user buffer *)
     let buf = malloc t p (max len 1) in

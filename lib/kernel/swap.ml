@@ -18,6 +18,15 @@ let page_size t = t.page_size
 let total_slots t = t.slots
 let used_slots t = t.used_count
 
+let slot_in_use t slot = slot >= 0 && slot < t.slots && t.used.(slot)
+
+let used_slot_list t =
+  let acc = ref [] in
+  for slot = t.slots - 1 downto 0 do
+    if t.used.(slot) then acc := slot :: !acc
+  done;
+  !acc
+
 let reserve t =
   let rec find i = if i >= t.slots then None else if t.used.(i) then find (i + 1) else Some i in
   match find 0 with

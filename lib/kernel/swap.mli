@@ -14,6 +14,14 @@ val page_size : t -> int
 val total_slots : t -> int
 val used_slots : t -> int
 
+val slot_in_use : t -> int -> bool
+(** Is the slot currently reserved?  (Audit accessor: every [Swapped] PTE
+    must point at an in-use slot.)  False for out-of-range slots. *)
+
+val used_slot_list : t -> int list
+(** The in-use slots, ascending.  (Audit accessor: the swap-slot /
+    page-table cross-check walks both sides of the mapping.) *)
+
 val store : t -> string -> int option
 (** Write one page of data to a free slot; [None] when swap is full.
     The string must be exactly [page_size] bytes. *)

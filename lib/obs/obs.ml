@@ -32,6 +32,7 @@ type event =
   | Swap_in of { pid : int; slot : int; pfn : int }
   | Scan_started of { mode : string }
   | Scan_finished of { mode : string; hits : int; pages_scanned : int }
+  | Audit_violation of { check : string; detail : string }
 
 type record = { seq : int; tick : int; event : event }
 
@@ -124,6 +125,8 @@ module Trace = struct
     | Scan_finished { mode; hits; pages_scanned } ->
       ("scan_finished",
        [ ("mode", `S mode); ("hits", `I hits); ("pages_scanned", `I pages_scanned) ])
+    | Audit_violation { check; detail } ->
+      ("audit_violation", [ ("check", `S check); ("detail", `S detail) ])
 
   let json_field (k, v) =
     match v with
@@ -314,4 +317,8 @@ module Provenance = struct
     |> Option.map (fun iv -> iv.info)
 
   let count ctx = List.length ctx.intervals
+
+  let intervals ctx =
+    List.map (fun iv -> (iv.start, iv.ilen, iv.info)) ctx.intervals
+    |> List.sort compare
 end

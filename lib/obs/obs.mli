@@ -51,6 +51,9 @@ type event =
   | Swap_in of { pid : int; slot : int; pfn : int }
   | Scan_started of { mode : string }
   | Scan_finished of { mode : string; hits : int; pages_scanned : int }
+  | Audit_violation of { check : string; detail : string }
+      (** an invariant audit (see [Memguard_fault.Audit]) found the machine
+          in a state that should be unreachable *)
 
 type record = { seq : int; tick : int; event : event }
 (** [seq] is a global monotone counter, [tick] the simulation time last
@@ -166,4 +169,9 @@ module Provenance : sig
 
   val count : ctx -> int
   (** Live intervals (diagnostics). *)
+
+  val intervals : ctx -> (int * int * info) list
+  (** Every live interval as [(addr, len, info)], sorted by address.
+      Audit accessor: the registry's well-formedness (in-bounds,
+      positive-length, non-overlapping) is itself an invariant. *)
 end

@@ -73,6 +73,16 @@ let scan_swap k ~patterns =
     Multi_search.iter ms raw ~f:(fun ~pos ~pat -> acc := (labels.(pat), pos) :: !acc);
     List.sort compare !acc
 
+(* The Integrated solution's promise: the only key bytes left in RAM live in
+   the server's mlocked, process-mapped anonymous buffer.  A hit anywhere
+   else is a confinement violation. *)
+let confined k (h : hit) =
+  let page = Phys_mem.page (Kernel.mem k) h.pfn in
+  match page.Page.owner with
+  | Page.Anon ->
+    page.Page.locked && Kernel.frame_owners k ~pfn:h.pfn <> []
+  | Page.Free | Page.Page_cache _ | Page.Kernel -> false
+
 let key_patterns ?pem priv =
   let base =
     [ ("d", Rsa.pattern_d priv); ("p", Rsa.pattern_p priv); ("q", Rsa.pattern_q priv) ]

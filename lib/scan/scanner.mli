@@ -42,6 +42,13 @@ val scan_swap : Memguard_kernel.Kernel.t -> patterns:(string * string) list -> (
 (** Sweep the swap device (if any): [(label, byte offset)] of each match —
     the swap-disclosure ablation. *)
 
+val confined : Memguard_kernel.Kernel.t -> hit -> bool
+(** Confinement oracle for the Integrated solution: [true] iff the hit's
+    frame is anonymous user memory, [mlock]ed, and mapped by at least one
+    live process — i.e. the blessed in-use key buffer.  Every other
+    location (free frame, page cache, kernel frame, unlocked or unmapped
+    anon frame) means a key copy escaped the countermeasures. *)
+
 val key_patterns :
   ?pem:string -> Memguard_crypto.Rsa.priv -> (string * string) list
 (** The patterns the paper treats as "a copy of the private key": the

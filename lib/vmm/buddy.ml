@@ -154,7 +154,16 @@ let free_pages t = t.free_count
 let allocated_pages t = Phys_mem.num_pages t.mem - t.free_count
 
 let is_free_block t ~pfn =
-  Iset.mem pfn t.hot_members || Array.exists (fun set -> Iset.mem pfn set) t.free_lists
+  (* membership, not base identity: a pfn in the interior of a coalesced
+     order>0 block is just as free as its base *)
+  Iset.mem pfn t.hot_members
+  ||
+  let rec covered order =
+    order <= max_order
+    && (Iset.mem (pfn land lnot ((1 lsl order) - 1)) t.free_lists.(order)
+        || covered (order + 1))
+  in
+  covered 0
 
 let check_invariants t =
   let n = Phys_mem.num_pages t.mem in

@@ -57,7 +57,9 @@ val free_pages : t -> int
 val allocated_pages : t -> int
 
 val is_free_block : t -> pfn:int -> bool
-(** Is [pfn] the base of a free block (hot list or per-order sets)? *)
+(** Is [pfn] covered by any free block (hot list or per-order sets)?
+    Answers membership for interior pages of coalesced order>0 blocks,
+    not just block bases. *)
 
 val check_invariants : t -> (unit, string) result
 (** For tests: free blocks are disjoint, aligned, within range, and page

@@ -23,5 +23,6 @@ let () =
          Test_workload.suite;
          Test_edge.suite;
          Test_misc_extra.suite;
+         Test_fault.suite;
          Test_final.suite
        ])

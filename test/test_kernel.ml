@@ -660,3 +660,87 @@ let test_fs_list_paths () =
 let fs_extra = ("fs_extra", [ Alcotest.test_case "list_paths" `Quick test_fs_list_paths ])
 
 let suite = suite @ [ fs_extra ]
+
+(* ---- regressions: kernel bugs found by the chaos campaigns ---- *)
+
+(* fork under swap pressure: the old implementation swapped every parent
+   page in with a one-shot prologue walk, but each swap-in can itself force
+   a swap-out that re-swaps a page the walk had already passed — and the
+   COW-sharing loop then silently dropped that mapping from the child.
+   The fix re-resolves each PTE at share time. *)
+let test_fork_under_swap_pressure () =
+  let k = make ~config:{ Kernel.default_config with num_pages = 32; swap_slots = 64 } () in
+  let ps = 4096 in
+  let parent = Kernel.spawn k ~name:"parent" in
+  let addr = Kernel.malloc k parent (8 * ps) in
+  let tag i = Printf.sprintf "PARENT-PAGE-%d" i in
+  for i = 0 to 7 do
+    Kernel.write_mem k parent ~addr:(addr + (i * ps)) (tag i)
+  done;
+  (* squeeze RAM so part of the parent's address space sits on swap *)
+  let hog = Kernel.spawn k ~name:"hog" in
+  ignore (Kernel.malloc k hog (30 * ps));
+  Alcotest.(check bool) "parent partially swapped" true
+    ((Kernel.stats k).Kernel.swap_slots_used > 0);
+  let child = Kernel.fork k parent in
+  check_inv k;
+  (* every page must be readable in BOTH processes with intact content *)
+  for i = 0 to 7 do
+    Alcotest.(check string) (Printf.sprintf "child page %d" i) (tag i)
+      (Kernel.read_mem k child ~addr:(addr + (i * ps)) ~len:(String.length (tag i)));
+    Alcotest.(check string) (Printf.sprintf "parent page %d" i) (tag i)
+      (Kernel.read_mem k parent ~addr:(addr + (i * ps)) ~len:(String.length (tag i)))
+  done;
+  check_inv k
+
+(* read_file on a full machine: a failed page-cache insert used to raise
+   Out_of_memory immediately instead of reclaiming (swap out / evict
+   another cached page) and retrying like alloc_frame does. *)
+let test_read_file_reclaims_on_pressure () =
+  let k = make ~config:{ Kernel.default_config with num_pages = 16 } () in
+  let ps = 4096 in
+  let page_text c = String.make ps c in
+  ignore (Kernel.write_file k ~path:"/big_a" (String.concat "" (List.init 6 (fun i -> page_text (Char.chr (Char.code 'a' + i))))));
+  let content_b = String.concat "" (List.init 5 (fun i -> page_text (Char.chr (Char.code 'p' + i)))) in
+  ignore (Kernel.write_file k ~path:"/big_b" content_b);
+  let p = Kernel.spawn k ~name:"reader" in
+  (* file A: 6 cache frames + a 6-page buffer = 12 of 16 frames *)
+  ignore (Kernel.read_file k p ~path:"/big_a" ~nocache:false);
+  (* file B needs 10 more frames with only 4 free: the page cache must
+     recycle A's pages, not OOM *)
+  let buf, len = Kernel.read_file k p ~path:"/big_b" ~nocache:false in
+  Alcotest.(check int) "full length" (5 * ps) len;
+  Alcotest.(check string) "content intact" content_b (Kernel.read_mem k p ~addr:buf ~len);
+  check_inv k
+
+(* cow_break: when the only locked mapper of a shared frame departs to its
+   private copy, the source frame must not stay flagged locked — a stale
+   flag pins another process's page forever (it can never swap out). *)
+let test_cow_break_releases_stale_lock () =
+  let k = make () in
+  let p = Kernel.spawn k ~name:"p" in
+  let a = Kernel.malloc k p 4096 in
+  Kernel.write_mem k p ~addr:a "SHARED-SOURCE";
+  let c = Kernel.fork k p in
+  (* the CHILD locks the shared page; the parent's PTE stays unlocked *)
+  Kernel.mlock k c ~addr:a ~len:4096;
+  let src_pfn = Option.get (Kernel.pfn_of_vaddr k p a) in
+  Alcotest.(check bool) "shared frame pinned" true
+    (Phys_mem.page (Kernel.mem k) src_pfn).Page.locked;
+  (* child writes: COW break moves the locked mapping to a private frame *)
+  Kernel.write_mem k c ~addr:a "CHILD-PRIVATE";
+  let dst_pfn = Option.get (Kernel.pfn_of_vaddr k c a) in
+  Alcotest.(check bool) "child frame pinned" true
+    (Phys_mem.page (Kernel.mem k) dst_pfn).Page.locked;
+  Alcotest.(check bool) "source frame released" false
+    (Phys_mem.page (Kernel.mem k) src_pfn).Page.locked;
+  check_inv k
+
+let regression_suite =
+  ( "kernel_regressions",
+    [ Alcotest.test_case "fork under swap pressure" `Quick test_fork_under_swap_pressure;
+      Alcotest.test_case "read_file reclaims" `Quick test_read_file_reclaims_on_pressure;
+      Alcotest.test_case "cow_break stale lock" `Quick test_cow_break_releases_stale_lock
+    ] )
+
+let suite = suite @ [ regression_suite ]

@@ -234,3 +234,25 @@ let suite =
         QCheck_alcotest.to_alcotest prop_buddy_random_ops
       ] )
   ]
+
+(* ---- regression: is_free_block must answer membership, not base identity ---- *)
+
+let test_is_free_block_interior_pages () =
+  let mem = Phys_mem.create ~num_pages:16 () in
+  let b = Buddy.create mem in
+  (* freshly seeded: one order-4 free block based at pfn 0 covers everything *)
+  Alcotest.(check bool) "base pfn free" true (Buddy.is_free_block b ~pfn:0);
+  Alcotest.(check bool) "interior pfn free" true (Buddy.is_free_block b ~pfn:5);
+  Alcotest.(check bool) "last pfn free" true (Buddy.is_free_block b ~pfn:15);
+  let pfn = Option.get (Buddy.alloc_page b) in
+  Alcotest.(check bool) "allocated page not free" false (Buddy.is_free_block b ~pfn);
+  (* the split parked smaller blocks: their interiors still answer free *)
+  Alcotest.(check bool) "interior of split block" true (Buddy.is_free_block b ~pfn:5);
+  Buddy.free_page b pfn;
+  Alcotest.(check bool) "freed page free again" true (Buddy.is_free_block b ~pfn)
+
+let free_block_suite =
+  ( "buddy_is_free_block",
+    [ Alcotest.test_case "interior pages" `Quick test_is_free_block_interior_pages ] )
+
+let suite = suite @ [ free_block_suite ]
