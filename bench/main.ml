@@ -219,6 +219,28 @@ let scan_engine_bench () =
   let hit_rate = clean /. Float.max 1.0 (clean +. dirty) in
   let dirty_ratio = dirty /. Float.max 1.0 (clean +. dirty) in
   let p samples q = Obs.Metrics.percentile samples q in
+  (* exposure ledger rider: wall-time overhead of ledger-on vs obs-off
+     timeline runs, plus the byte-tick verdict per protection level *)
+  let t_ledger_off =
+    time_mean (fun () ->
+        Experiment.timeline ~num_pages ~scan_mode:System.Incremental Experiment.Ssh)
+  in
+  let t_ledger_on =
+    time_mean (fun () ->
+        let obs = Obs.create ~ring_capacity:(1 lsl 20) () in
+        Experiment.timeline ~num_pages ~scan_mode:System.Incremental ~obs Experiment.Ssh)
+  in
+  let ledger_overhead_pct = 100. *. ((t_ledger_on /. t_ledger_off) -. 1.) in
+  let exposure_by_level =
+    List.map
+      (fun level ->
+        let d = Dashboard.run ~level ~num_pages ~scan_mode:System.Incremental () in
+        let total =
+          List.fold_left (fun acc (_, v) -> acc + v) 0 d.Dashboard.totals
+        in
+        (Protection.name level, total, Dashboard.sensitive_unsafe_total d))
+      Protection.all
+  in
   Format.printf "%-44s %12.6f s@." "full scan, seed (one pass per pattern)" t_multipass;
   Format.printf "%-44s %12.6f s  (%.2fx)@." "full scan, single-pass multi-pattern" t_single
     speedup_single;
@@ -235,6 +257,12 @@ let scan_engine_bench () =
         (Printf.sprintf "per-scan wall time %s (p50/p90/max)" mode)
         (p samples 50.) (p samples 90.) (p samples 100.))
     [ ("multipass", wall_seed); ("full", wall_full); ("incremental", wall_incr) ];
+  Format.printf "%-44s %11.1f%%@." "exposure ledger overhead (timeline)" ledger_overhead_pct;
+  List.iter
+    (fun (name, total, unsafe) ->
+      Format.printf "%-44s %12d byte-ticks (%d sensitive outside mlock)@."
+        (Printf.sprintf "exposure at %s" name) total unsafe)
+    exposure_by_level;
   let json =
     Printf.sprintf
       "{\n\
@@ -258,13 +286,23 @@ let scan_engine_bench () =
       \  \"timeline_scan_wall_max_full_s\": %.6f,\n\
       \  \"timeline_scan_wall_p50_incremental_s\": %.6f,\n\
       \  \"timeline_scan_wall_p90_incremental_s\": %.6f,\n\
-      \  \"timeline_scan_wall_max_incremental_s\": %.6f\n\
+      \  \"timeline_scan_wall_max_incremental_s\": %.6f,\n\
+      \  \"exposure_ledger_overhead_pct\": %.2f%s\n\
        }\n"
       num_pages (List.length patterns) t_multipass t_single t_incr_idle t_timeline_seed
       t_timeline_full t_timeline_incr speedup_single speedup_timeline hit_rate dirty_ratio
       (p wall_seed 50.) (p wall_seed 90.) (p wall_seed 100.)
       (p wall_full 50.) (p wall_full 90.) (p wall_full 100.)
       (p wall_incr 50.) (p wall_incr 90.) (p wall_incr 100.)
+      ledger_overhead_pct
+      (String.concat ""
+         (List.map
+            (fun (name, total, unsafe) ->
+              let slug = String.map (function '-' -> '_' | c -> c) name in
+              Printf.sprintf
+                ",\n  \"exposure_byte_ticks_%s\": %d,\n\
+                 \  \"exposure_sensitive_unsafe_byte_ticks_%s\": %d" slug total slug unsafe)
+            exposure_by_level))
   in
   let oc = open_out "BENCH_scan.json" in
   output_string oc json;

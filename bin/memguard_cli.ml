@@ -384,6 +384,104 @@ let chaos_cmd =
           $ pages_arg Memguard_fault.Campaign.default_config.Memguard_fault.Campaign.num_pages
           $ swap_arg $ scan_every_arg $ log_arg)
 
+let scan_mode_conv =
+  let parse s =
+    match s with
+    | "incremental" -> Ok System.Incremental
+    | "full" -> Ok System.Full
+    | "multipass" -> Ok System.Multipass
+    | _ -> Error (`Msg "expected 'incremental', 'full' or 'multipass'")
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (System.mode_name m))
+
+let scan_mode_arg =
+  Arg.(value & opt scan_mode_conv System.Incremental
+       & info [ "scan-mode" ] ~docv:"MODE" ~doc:"Scanner mode: incremental, full or multipass.")
+
+let timeline_server = function Experiment.Ssh -> Timeline.Ssh | Experiment.Http -> Timeline.Http
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let observe_cmd =
+  let run level server seed pages scan_mode churn breach_age html json =
+    let d =
+      Dashboard.run ~level ~num_pages:pages ~seed ~scan_mode ~churn ?breach_age
+        ~server:(timeline_server server) ()
+    in
+    Format.printf "%a" Dashboard.pp_summary d;
+    (match html with
+     | Some path ->
+       write_file path (Dashboard.to_html d);
+       Format.printf "wrote %s@." path
+     | None -> ());
+    match json with
+    | Some path ->
+      write_file path (Dashboard.to_json d);
+      Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  let churn =
+    Arg.(value & opt int 3 & info [ "churn" ] ~docv:"N" ~doc:"Reconnect cycles per slot per tick.")
+  in
+  let breach_age =
+    Arg.(value & opt (some int) None
+         & info [ "breach-age" ] ~docv:"TICKS"
+             ~doc:"Arm the exposure SLO: emit a breach event when sensitive key bytes \
+                   outside mlocked-anon memory grow older than $(docv).")
+  in
+  let html =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE"
+             ~doc:"Write the self-contained HTML dashboard (inline SVG, no scripts) to $(docv).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the machine-readable JSON twin to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:
+         "Exposure observatory: run the fig-5 timeline with the exposure ledger on and \
+          render the byte-tick dashboard (HTML and/or JSON)")
+    Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ scan_mode_arg
+          $ churn $ breach_age $ html $ json)
+
+let inspect_cmd =
+  let module Obs = Memguard_obs.Obs in
+  let module Introspect = Memguard_kernel.Introspect in
+  let run level server seed pages scan_mode tick breach_age =
+    let obs = Obs.create ~ring_capacity:(1 lsl 20) () in
+    (match breach_age with Some a -> Obs.Exposure.set_breach_age obs (Some a) | None -> ());
+    let sys = System.create ~num_pages:pages ~seed ~scan_mode ~obs ~level () in
+    ignore (Timeline.run ~stop_at:tick sys (timeline_server server));
+    Format.printf "# inspect: server=%s level=%s tick=%d@."
+      (match server with Experiment.Ssh -> "ssh" | Experiment.Http -> "http")
+      (Protection.name level)
+      (min tick Timeline.default_schedule.Timeline.finish);
+    print_string (Introspect.render (System.kernel sys))
+  in
+  let tick =
+    Arg.(value & opt int 11
+         & info [ "t"; "tick" ] ~docv:"TICK"
+             ~doc:"Run the fig-5 timeline up to $(docv) (clamped to 29), then dump the \
+                   machine state.  Default 11: just after peak traffic.")
+  in
+  let breach_age =
+    Arg.(value & opt (some int) None
+         & info [ "breach-age" ] ~docv:"TICKS" ~doc:"Arm the exposure SLO (see observe).")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "/proc-style introspection: freeze the fig-5 timeline at a tick and print \
+          annotated per-process maps, buddy free lists, swap slots, page-cache residency \
+          and the exposure ledger")
+    Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ scan_mode_arg
+          $ tick $ breach_age)
+
 let main =
   Cmd.group
     (Cmd.info "memguard" ~version:"1.0.0"
@@ -391,6 +489,6 @@ let main =
          "Reproduction of Harrison & Xu, 'Protecting Cryptographic Keys from Memory \
           Disclosure Attacks' (DSN'07)")
     [ timeline_cmd; ext2_cmd; tty_cmd; before_after_cmd; perf_cmd; ablations_cmd; dat_cmd;
-      levels_cmd; chaos_cmd ]
+      levels_cmd; chaos_cmd; observe_cmd; inspect_cmd ]
 
 let () = Stdlib.exit (Cmd.eval main)

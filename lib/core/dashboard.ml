@@ -1,0 +1,361 @@
+module Obs = Memguard_obs.Obs
+module Report = Memguard_scan.Report
+
+type breach = {
+  tick : int;
+  origin : Obs.origin;
+  cls : Obs.mem_class;
+  pid : int;
+  addr : int;
+  len : int;
+  age : int;
+}
+
+type t = {
+  level : Protection.level;
+  server : Timeline.server;
+  scan_mode : System.scan_mode;
+  seed : int;
+  num_pages : int;
+  breach_age : int option;
+  snapshots : Report.snapshot list;
+  series : (int * ((Obs.origin * Obs.mem_class) * int) list) list;
+  totals : ((Obs.origin * Obs.mem_class) * int) list;
+  lifetimes : (Obs.origin * int list) list;
+  breaches : breach list;
+  counters : (string * int) list;
+}
+
+let server_name = function Timeline.Ssh -> "ssh" | Timeline.Http -> "http"
+
+let run ?(level = Protection.Unprotected) ?(num_pages = 8192) ?(seed = 1)
+    ?(scan_mode = System.Incremental) ?(churn = 3) ?breach_age ?(server = Timeline.Ssh) ()
+    =
+  let obs = Obs.create () in
+  Obs.Exposure.set_breach_age obs breach_age;
+  let sys = System.create ~num_pages ~seed ~scan_mode ~obs ~level () in
+  let snapshots = Timeline.run ~churn sys server in
+  let breaches =
+    List.filter_map
+      (fun (r : Obs.record) ->
+        match r.Obs.event with
+        | Obs.Exposure_breach { origin; cls; pid; addr; len; age } ->
+          Some { tick = r.Obs.tick; origin; cls; pid; addr; len; age }
+        | _ -> None)
+      (Obs.Trace.records obs)
+  in
+  { level;
+    server;
+    scan_mode;
+    seed;
+    num_pages;
+    breach_age;
+    snapshots;
+    series = Obs.Exposure.series obs;
+    totals = Obs.Exposure.totals obs;
+    lifetimes =
+      List.filter_map
+        (fun o ->
+          match Obs.Exposure.lifetimes obs o with [] -> None | ls -> Some (o, ls))
+        Obs.all_origins;
+    breaches;
+    counters = Obs.Metrics.counters obs
+  }
+
+(* ---- derived views ---- *)
+
+let bucket_sum pred buckets =
+  List.fold_left (fun acc (k, v) -> if pred k then acc + v else acc) 0 buckets
+
+(* acceptance view: byte-ticks of *sensitive* origins outside the mlocked
+   class — zero at Integrated, growing at Unprotected *)
+let sensitive_unsafe_total t =
+  bucket_sum
+    (fun (o, c) -> Obs.origin_sensitive o && c <> Obs.Mlocked_anon)
+    t.totals
+
+let class_total t cls = bucket_sum (fun (_, c) -> c = cls) t.totals
+
+let origins_present t =
+  List.filter (fun o -> List.exists (fun ((o', _), _) -> o' = o) t.totals) Obs.all_origins
+
+let classes_present t =
+  List.filter (fun c -> List.exists (fun ((_, c'), _) -> c' = c) t.totals) Obs.all_classes
+
+(* per-origin (summed over classes) cumulative series, one point per tick,
+   prefixed with an implicit (0, 0) start *)
+let origin_series t o =
+  (0, 0)
+  :: List.map (fun (tick, buckets) -> (tick, bucket_sum (fun (o', _) -> o' = o) buckets)) t.series
+
+let class_series t c =
+  (0, 0)
+  :: List.map
+       (fun (tick, buckets) ->
+         (tick, bucket_sum (fun (o, c') -> c' = c && Obs.origin_sensitive o) buckets))
+       t.series
+
+(* ---- JSON twin ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let comma_sep f xs = List.iteri (fun i x -> if i > 0 then add ","; f x) xs in
+  let bucket ((o, c), v) =
+    add "{\"origin\":\"%s\",\"class\":\"%s\",\"byte_ticks\":%d}" (Obs.origin_name o)
+      (Obs.class_name c) v
+  in
+  add "{\n";
+  add "  \"level\": \"%s\",\n" (json_escape (Protection.name t.level));
+  add "  \"server\": \"%s\",\n" (server_name t.server);
+  add "  \"scan_mode\": \"%s\",\n" (System.mode_name t.scan_mode);
+  add "  \"seed\": %d,\n" t.seed;
+  add "  \"num_pages\": %d,\n" t.num_pages;
+  add "  \"breach_age\": %s,\n"
+    (match t.breach_age with Some a -> string_of_int a | None -> "null");
+  add "  \"ticks\": %d,\n" (List.length t.snapshots);
+  add "  \"sensitive_unsafe_byte_ticks\": %d,\n" (sensitive_unsafe_total t);
+  add "  \"hit_series\": [";
+  comma_sep
+    (fun (s : Report.snapshot) ->
+      add "{\"tick\":%d,\"total\":%d,\"allocated\":%d,\"unallocated\":%d}" s.Report.time
+        s.Report.total s.Report.allocated s.Report.unallocated)
+    t.snapshots;
+  add "],\n";
+  add "  \"exposure_series\": [";
+  comma_sep
+    (fun (tick, buckets) ->
+      add "{\"tick\":%d,\"buckets\":[" tick;
+      comma_sep bucket buckets;
+      add "]}")
+    t.series;
+  add "],\n";
+  add "  \"exposure_totals\": [";
+  comma_sep bucket t.totals;
+  add "],\n";
+  add "  \"exposure_by_class\": {";
+  comma_sep
+    (fun c -> add "\"%s\":%d" (Obs.class_name c) (class_total t c))
+    Obs.all_classes;
+  add "},\n";
+  add "  \"lifetime_percentiles\": [";
+  comma_sep
+    (fun (o, ls) ->
+      let fs = List.map float_of_int ls in
+      add "{\"origin\":\"%s\",\"count\":%d,\"p50\":%g,\"p90\":%g,\"p99\":%g,\"max\":%g}"
+        (Obs.origin_name o) (List.length ls)
+        (Obs.Metrics.percentile fs 50.) (Obs.Metrics.percentile fs 90.)
+        (Obs.Metrics.percentile fs 99.) (Obs.Metrics.percentile fs 100.))
+    t.lifetimes;
+  add "],\n";
+  add "  \"breaches\": [";
+  comma_sep
+    (fun b ->
+      add "{\"tick\":%d,\"origin\":\"%s\",\"class\":\"%s\",\"pid\":%d,\"addr\":%d,\"len\":%d,\"age\":%d}"
+        b.tick (Obs.origin_name b.origin) (Obs.class_name b.cls) b.pid b.addr b.len b.age)
+    t.breaches;
+  add "],\n";
+  add "  \"counters\": {";
+  comma_sep (fun (k, v) -> add "\"%s\":%d" (json_escape k) v) t.counters;
+  add "}\n}\n";
+  Buffer.contents buf
+
+(* ---- self-contained HTML report (inline CSS + SVG, no scripts) ---- *)
+
+let palette =
+  [| "#2563eb"; "#dc2626"; "#16a34a"; "#d97706"; "#9333ea"; "#0891b2"; "#db2777";
+     "#65a30d" |]
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let short_num v =
+  if v >= 1_000_000. then Printf.sprintf "%.1fM" (v /. 1_000_000.)
+  else if v >= 1_000. then Printf.sprintf "%.1fk" (v /. 1_000.)
+  else Printf.sprintf "%g" v
+
+(* a simple multi-series line chart; series = (name, (x, y) list) list *)
+let svg_line_chart ~title ~y_label series =
+  let width = 720 and height = 300 in
+  let ml = 64 and mr = 170 and mt = 34 and mb = 36 in
+  let pw = width - ml - mr and ph = height - mt - mb in
+  let xs = List.concat_map (fun (_, pts) -> List.map fst pts) series in
+  let ys = List.concat_map (fun (_, pts) -> List.map snd pts) series in
+  let xmax = float_of_int (max 1 (List.fold_left max 0 xs)) in
+  let ymax = float_of_int (max 1 (List.fold_left max 0 ys)) in
+  let px x = float_of_int ml +. (float_of_int x /. xmax *. float_of_int pw) in
+  let py y = float_of_int (mt + ph) -. (float_of_int y /. ymax *. float_of_int ph) in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "<svg viewBox=\"0 0 %d %d\" class=\"chart\" role=\"img\">" width height;
+  add "<text x=\"%d\" y=\"20\" class=\"ctitle\">%s</text>" ml (html_escape title);
+  (* y grid: 4 divisions *)
+  for i = 0 to 4 do
+    let frac = float_of_int i /. 4. in
+    let y = float_of_int (mt + ph) -. (frac *. float_of_int ph) in
+    add "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" class=\"grid\"/>" ml y (ml + pw) y;
+    add "<text x=\"%d\" y=\"%.1f\" class=\"ylab\">%s</text>" (ml - 6) (y +. 4.)
+      (short_num (frac *. ymax))
+  done;
+  (* x ticks: at most 10 *)
+  let xstep = max 1 (int_of_float xmax / 10) in
+  let xi = ref 0 in
+  while !xi <= int_of_float xmax do
+    add "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" class=\"grid\"/>" (px !xi)
+      (mt + ph) (px !xi) (mt + ph + 4);
+    add "<text x=\"%.1f\" y=\"%d\" class=\"xlab\">%d</text>" (px !xi) (mt + ph + 16) !xi;
+    xi := !xi + xstep
+  done;
+  add "<text x=\"%d\" y=\"%d\" class=\"xlab\">tick</text>" (ml + (pw / 2)) (height - 4);
+  add
+    "<text x=\"14\" y=\"%d\" class=\"ylab\" transform=\"rotate(-90 14 %d)\" text-anchor=\"middle\">%s</text>"
+    (mt + (ph / 2)) (mt + (ph / 2)) (html_escape y_label);
+  (* series *)
+  List.iteri
+    (fun i (name, pts) ->
+      let color = palette.(i mod Array.length palette) in
+      let points =
+        String.concat " " (List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (px x) (py y)) pts)
+      in
+      add "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>" points
+        color;
+      let ly = mt + 8 + (i * 18) in
+      add "<rect x=\"%d\" y=\"%d\" width=\"12\" height=\"12\" fill=\"%s\"/>" (ml + pw + 14)
+        ly color;
+      add "<text x=\"%d\" y=\"%d\" class=\"legend\">%s</text>" (ml + pw + 31) (ly + 10)
+        (html_escape name))
+    series;
+  add "</svg>";
+  Buffer.contents buf
+
+let to_html t =
+  let buf = Buffer.create 16384 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+  add "<title>memguard exposure observatory — %s/%s</title>\n"
+    (html_escape (Protection.name t.level)) (server_name t.server);
+  add
+    "<style>body{font:14px/1.5 system-ui,sans-serif;margin:24px auto;max-width:960px;color:#111}\n\
+     h1{font-size:20px}h2{font-size:16px;margin-top:28px}\n\
+     table{border-collapse:collapse;margin:8px 0}td,th{border:1px solid #cbd5e1;padding:3px \
+     10px;text-align:right}th{background:#f1f5f9}td:first-child,th:first-child{text-align:left}\n\
+     .chart{width:100%%;max-width:760px;background:#fff;border:1px solid #e2e8f0;margin:10px 0}\n\
+     .ctitle{font-size:14px;font-weight:600}.grid{stroke:#e2e8f0;stroke-width:1}\n\
+     .ylab{font-size:10px;fill:#475569;text-anchor:end}.xlab{font-size:10px;fill:#475569;text-anchor:middle}\n\
+     .legend{font-size:11px;fill:#111}\n\
+     .ok{color:#16a34a;font-weight:600}.bad{color:#dc2626;font-weight:600}\n\
+     .meta td{text-align:left}</style></head><body>\n";
+  add "<h1>memguard exposure observatory</h1>\n";
+  add "<table class=\"meta\"><tr><th>level</th><td>%s</td></tr>"
+    (html_escape (Protection.name t.level));
+  add "<tr><th>server</th><td>%s</td></tr>" (server_name t.server);
+  add "<tr><th>scan mode</th><td>%s</td></tr>" (System.mode_name t.scan_mode);
+  add "<tr><th>seed / pages</th><td>%d / %d</td></tr>" t.seed t.num_pages;
+  add "<tr><th>breach SLO</th><td>%s</td></tr>"
+    (match t.breach_age with
+     | Some a -> Printf.sprintf "%d ticks" a
+     | None -> "disabled");
+  let unsafe = sensitive_unsafe_total t in
+  add
+    "<tr><th>sensitive exposure outside mlocked</th><td class=\"%s\">%d byte&middot;ticks</td></tr></table>\n"
+    (if unsafe = 0 then "ok" else "bad")
+    unsafe;
+  (* chart 1: per-origin cumulative exposure *)
+  add "<h2>Exposure per origin (cumulative byte&middot;ticks)</h2>\n";
+  add "%s\n"
+    (svg_line_chart ~title:"all origins, all classes" ~y_label:"byte-ticks"
+       (List.map (fun o -> (Obs.origin_name o, origin_series t o)) (origins_present t)));
+  (* chart 2: per-class cumulative exposure, sensitive origins only *)
+  add "<h2>Exposure per memory class (sensitive origins)</h2>\n";
+  add "%s\n"
+    (svg_line_chart ~title:"sensitive origins by class" ~y_label:"byte-ticks"
+       (List.map (fun c -> (Obs.class_name c, class_series t c)) (classes_present t)));
+  (* chart 3: scanner hit counts *)
+  add "<h2>Scanner hits</h2>\n";
+  add "%s\n"
+    (svg_line_chart ~title:"key copies found per snapshot" ~y_label:"hits"
+       [ ("total", List.map (fun (s : Report.snapshot) -> (s.Report.time, s.Report.total)) t.snapshots);
+         ( "allocated",
+           List.map (fun (s : Report.snapshot) -> (s.Report.time, s.Report.allocated)) t.snapshots );
+         ( "unallocated",
+           List.map (fun (s : Report.snapshot) -> (s.Report.time, s.Report.unallocated)) t.snapshots )
+       ]);
+  (* totals matrix *)
+  add "<h2>Exposure totals (byte&middot;ticks, origin &times; class)</h2>\n<table><tr><th>origin</th>";
+  let classes = classes_present t in
+  List.iter (fun c -> add "<th>%s</th>" (Obs.class_name c)) classes;
+  add "</tr>";
+  List.iter
+    (fun o ->
+      add "<tr><td>%s%s</td>" (Obs.origin_name o)
+        (if Obs.origin_sensitive o then "" else " <small>(non-sensitive)</small>");
+      List.iter
+        (fun c -> add "<td>%d</td>" (bucket_sum (fun k -> k = (o, c)) t.totals))
+        classes;
+      add "</tr>")
+    (origins_present t);
+  add "</table>\n";
+  (* lifetimes *)
+  add "<h2>Copy lifetimes (birth &rarr; zeroed, ticks)</h2>\n";
+  (match t.lifetimes with
+   | [] -> add "<p>no copies were destroyed during the run</p>\n"
+   | ls ->
+     add "<table><tr><th>origin</th><th>count</th><th>p50</th><th>p90</th><th>p99</th><th>max</th></tr>";
+     List.iter
+       (fun (o, ages) ->
+         let fs = List.map float_of_int ages in
+         add "<tr><td>%s</td><td>%d</td><td>%g</td><td>%g</td><td>%g</td><td>%g</td></tr>"
+           (Obs.origin_name o) (List.length ages)
+           (Obs.Metrics.percentile fs 50.) (Obs.Metrics.percentile fs 90.)
+           (Obs.Metrics.percentile fs 99.) (Obs.Metrics.percentile fs 100.))
+       ls;
+     add "</table>\n");
+  (* breaches *)
+  add "<h2>SLO breaches</h2>\n";
+  (match t.breaches with
+   | [] ->
+     add "<p class=\"ok\">none%s</p>\n"
+       (match t.breach_age with None -> " (SLO disabled)" | Some _ -> "")
+   | bs ->
+     add
+       "<table><tr><th>tick</th><th>origin</th><th>class</th><th>pid</th><th>addr</th><th>len</th><th>age</th></tr>";
+     List.iter
+       (fun b ->
+         add
+           "<tr><td>%d</td><td>%s</td><td>%s</td><td>%d</td><td>%#x</td><td>%d</td><td>%d</td></tr>"
+           b.tick (Obs.origin_name b.origin) (Obs.class_name b.cls) b.pid b.addr b.len b.age)
+       bs;
+     add "</table>\n");
+  add "</body></html>\n";
+  Buffer.contents buf
+
+let pp_summary fmt t =
+  Format.fprintf fmt "level=%s server=%s mode=%s ticks=%d@." (Protection.name t.level)
+    (server_name t.server) (System.mode_name t.scan_mode) (List.length t.snapshots);
+  Format.fprintf fmt "sensitive exposure outside mlocked-anon: %d byte-ticks@."
+    (sensitive_unsafe_total t);
+  List.iter
+    (fun ((o, c), v) ->
+      Format.fprintf fmt "  %-12s %-12s %12d@." (Obs.origin_name o) (Obs.class_name c) v)
+    t.totals;
+  Format.fprintf fmt "breaches: %d@." (List.length t.breaches)

@@ -1,0 +1,81 @@
+(** The exposure-observatory report pipeline: run the fig-5 timeline with
+    the exposure ledger on, and render the result as a self-contained HTML
+    dashboard (inline CSS + SVG, no scripts) plus a machine-readable JSON
+    twin — the [memguard_cli observe] backend.
+
+    The report joins three data sets the observability layer accumulates
+    during one scripted run:
+    - the exposure ledger (byte·ticks per origin × memory class, one
+      cumulative sample per tick);
+    - the scanner snapshots (hit counts per tick, as in Figure 5(b));
+    - copy lifetime histograms and [Exposure_breach] SLO events. *)
+
+module Obs := Memguard_obs.Obs
+module Report := Memguard_scan.Report
+
+type breach = {
+  tick : int;
+  origin : Obs.origin;
+  cls : Obs.mem_class;
+  pid : int;
+  addr : int;
+  len : int;
+  age : int;
+}
+
+type t = {
+  level : Protection.level;
+  server : Timeline.server;
+  scan_mode : System.scan_mode;
+  seed : int;
+  num_pages : int;
+  breach_age : int option;
+  snapshots : Report.snapshot list;
+  series : (int * ((Obs.origin * Obs.mem_class) * int) list) list;
+  totals : ((Obs.origin * Obs.mem_class) * int) list;
+  lifetimes : (Obs.origin * int list) list;
+  breaches : breach list;
+  counters : (string * int) list;
+}
+
+val run :
+  ?level:Protection.level ->
+  ?num_pages:int ->
+  ?seed:int ->
+  ?scan_mode:System.scan_mode ->
+  ?churn:int ->
+  ?breach_age:int ->
+  ?server:Timeline.server ->
+  unit ->
+  t
+(** One fig-5 timeline run ([Timeline.run] on a fresh system) with an
+    enabled observability context and, when [breach_age] is given, the
+    exposure SLO armed.  Defaults match {!Experiment.timeline}:
+    [Unprotected], 8192 pages, seed 1, [Incremental] scans, [Ssh]. *)
+
+val sensitive_unsafe_total : t -> int
+(** Byte·ticks accumulated by {e sensitive} origins in any class other
+    than mlocked-anon — the headline number: zero at Integrated (the
+    confinement result), growing monotonically at Unprotected. *)
+
+val class_total : t -> Obs.mem_class -> int
+(** Total byte·ticks accumulated in one memory class (all origins). *)
+
+val origin_series : t -> Obs.origin -> (int * int) list
+(** Cumulative byte·ticks of one origin (all classes) per tick, starting
+    at [(0, 0)]. *)
+
+val class_series : t -> Obs.mem_class -> (int * int) list
+(** Cumulative byte·ticks of sensitive origins in one class per tick. *)
+
+val to_json : t -> string
+
+val to_html : t -> string
+(** Self-contained report: metadata table, per-origin and per-class
+    exposure charts, hit-count chart, origin×class totals matrix,
+    lifetime percentiles, breach list. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Terminal summary: headline exposure + totals + breach count. *)
+
+val server_name : Timeline.server -> string

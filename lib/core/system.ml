@@ -102,6 +102,9 @@ let scan t ~time =
   let obs = t.obs_ in
   let mode = mode_name t.scan_mode_ in
   Obs.set_tick obs time;
+  (* tick the exposure ledger before the sweep: integrate byte·ticks of
+     key-copy residence per (origin x class) up to this instant *)
+  Obs.Exposure.advance obs time;
   Obs.Trace.emit obs (Obs.Scan_started { mode });
   (* wall-clock only feeds the metrics histogram; nothing in the simulation
      reads it, so determinism is untouched *)

@@ -122,13 +122,14 @@ let http_driver ~high sys =
         Apache.stop srv)
   }
 
-let run ?(schedule = default_schedule) ?(low = 8) ?(high = 16) ?traffic ?(churn = 3) sys server
-    =
+let run ?(schedule = default_schedule) ?(low = 8) ?(high = 16) ?traffic ?(churn = 3)
+    ?stop_at sys server =
   let traffic = Option.value traffic ~default:(paper_traffic ~low ~high schedule) in
   let traffic_rng = Memguard_util.Prng.split (System.rng sys) in
+  let last = min schedule.finish (Option.value stop_at ~default:schedule.finish) in
   let driver = ref None in
   let snapshots = ref [] in
-  for t = 0 to schedule.finish do
+  for t = 0 to last do
     if t = schedule.start_server then
       driver := Some (match server with Ssh -> ssh_driver sys | Http -> http_driver ~high sys);
     (match !driver with

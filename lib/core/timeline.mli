@@ -34,6 +34,7 @@ val run :
   ?high:int ->
   ?traffic:Memguard_apps.Workload.pattern ->
   ?churn:int ->
+  ?stop_at:int ->
   System.t ->
   server ->
   Memguard_scan.Report.snapshot list
@@ -41,4 +42,6 @@ val run :
     ([finish + 1] snapshots).  [traffic] defaults to
     [paper_traffic ~low ~high schedule] ([low]/[high] default to 8/16
     concurrent connections); [churn] is the number of reconnect cycles per
-    slot per tick (default 3). *)
+    slot per tick (default 3).  [stop_at] truncates the run after that
+    tick's snapshot (clamped to [schedule.finish]) — the machine is left
+    live for introspection ([memguard_cli inspect]). *)

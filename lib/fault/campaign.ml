@@ -31,6 +31,7 @@ type result = {
   scans : int;
   violations : Audit.violation list;
   log : string list;
+  obs : Obs.ctx;
 }
 
 (* a campaign with this many violations is broken beyond useful reporting *)
@@ -40,6 +41,7 @@ type pstate = { proc : Proc.t; mutable allocs : (int * int) list (* vaddr, size 
 
 type st = {
   cfg : config;
+  on_scan : System.t -> tick:int -> unit;
   sys : System.t;
   k : Kernel.t;
   rng : Prng.t;
@@ -252,6 +254,7 @@ let ops st =
       (fun () -> true),
       fun () ->
         let snap = System.scan st.sys ~time:st.tick in
+        st.on_scan st.sys ~tick:st.tick;
         st.tick <- st.tick + 1;
         st.scans <- st.scans + 1;
         let vs =
@@ -302,7 +305,7 @@ let validate cfg =
   if cfg.ops <= 0 then invalid_arg "Campaign.run: non-positive ops";
   if cfg.scan_every <= 0 then invalid_arg "Campaign.run: non-positive scan_every"
 
-let boot cfg =
+let boot ~on_scan cfg =
   let obs = Obs.create () in
   let sys =
     System.create ~num_pages:cfg.num_pages ~seed:cfg.seed ~scan_mode:System.Incremental
@@ -321,6 +324,7 @@ let boot cfg =
         path)
   in
   { cfg;
+    on_scan;
     sys;
     k;
     rng;
@@ -338,9 +342,9 @@ let boot cfg =
     log = []
   }
 
-let run cfg =
+let run ?(on_scan = fun _ ~tick:_ -> ()) cfg =
   validate cfg;
-  let st = boot cfg in
+  let st = boot ~on_scan cfg in
   (* the confinement oracle only means something at levels that promise
      something about memory contents; [scan_attack] ops still judge every
      level *)
@@ -352,6 +356,7 @@ let run cfg =
        List.iter (fun v -> violate st i v) (Audit.run st.k);
        if oracle && i mod cfg.scan_every = 0 then begin
          let snap = System.scan st.sys ~time:st.tick in
+         st.on_scan st.sys ~tick:st.tick;
          st.tick <- st.tick + 1;
          st.scans <- st.scans + 1;
          let vs =
@@ -372,7 +377,8 @@ let run cfg =
     ooms = st.ooms;
     scans = st.scans;
     violations = List.rev st.violations;
-    log = List.rev st.log
+    log = List.rev st.log;
+    obs = System.obs st.sys
   }
 
 let passed (r : result) = r.violations = []

@@ -46,13 +46,21 @@ type result = {
   log : string list;
       (** chronological op / audit trace; identical across re-runs of the
           same [config] *)
+  obs : Memguard_obs.Obs.ctx;
+      (** the campaign's observability context (always enabled): event
+          ring, metrics, provenance registry and exposure ledger as they
+          stood when the campaign finished *)
 }
 
-val run : config -> result
+val run : ?on_scan:(Memguard.System.t -> tick:int -> unit) -> config -> result
 (** Run one campaign.  A campaign aborts early once it has accumulated 10
     violations (the machine is broken; more reports add noise).
-    [Invalid_argument] on a non-power-of-two [num_pages], non-positive
-    [ops] or [scan_every]. *)
+    [on_scan] fires right after {e every} memory scan — both the random
+    [scan_attack] ops and the confinement-oracle scans — with the live
+    system and the tick the scan ran at; scans don't mutate machine state,
+    so the callback observes exactly what the scanner (and the exposure
+    ledger's [advance]) saw.  [Invalid_argument] on a non-power-of-two
+    [num_pages], non-positive [ops] or [scan_every]. *)
 
 val passed : result -> bool
 (** No violations. *)

@@ -1,0 +1,213 @@
+open Memguard_vmm
+module Obs = Memguard_obs.Obs
+
+(* /proc-style text renderings of the live machine.  Pure readers: nothing
+   here mutates simulated state, so introspection at any tick leaves a run
+   byte-identical to an uninspected one. *)
+
+let pp_annotation buf ann =
+  match ann with
+  | [] -> ()
+  | _ ->
+    Buffer.add_string buf "  key:";
+    List.iter
+      (fun (o, bytes) ->
+        Buffer.add_string buf (Printf.sprintf " %s(%d)" (Obs.origin_name o) bytes))
+      ann
+
+let flags_string ~locked ~cow =
+  Printf.sprintf "rw%c%c" (if locked then 'l' else '-') (if cow then 'c' else '-')
+
+(* one process's address space, adjacent identical unannotated pages
+   coalesced into ranges *)
+let proc_maps k buf (p : Proc.t) =
+  let mem = Kernel.mem k in
+  let obs = Kernel.obs k in
+  let ps = Kernel.page_size k in
+  Buffer.add_string buf
+    (Printf.sprintf "==> /proc/%d/maps (%s) <==\n" p.Proc.pid p.Proc.name);
+  let stashes = Obs.Provenance.stashed obs in
+  let flush ~first_vpn ~n ~first_pfn ~locked ~cow ~cls ~ann =
+    Buffer.add_string buf
+      (Printf.sprintf "%08x-%08x %s pfn %05d-%05d [%s]" (first_vpn * ps)
+         ((first_vpn + n) * ps)
+         (flags_string ~locked ~cow)
+         first_pfn
+         (first_pfn + n - 1)
+         (Obs.class_name cls));
+    pp_annotation buf ann;
+    Buffer.add_char buf '\n'
+  in
+  let pending = ref None in
+  let flush_pending () =
+    (match !pending with
+     | Some (first_vpn, n, first_pfn, locked, cow, cls, ann) ->
+       flush ~first_vpn ~n ~first_pfn ~locked ~cow ~cls ~ann
+     | None -> ());
+    pending := None
+  in
+  List.iter
+    (fun vpn ->
+      match Proc.find_pte p ~vpn with
+      | Some (Proc.Present pr) ->
+        let addr = Phys_mem.addr_of_pfn mem pr.Proc.pfn in
+        let ann = Obs.Provenance.covering obs ~addr ~len:ps in
+        let cls = Kernel.classify_phys k ~addr in
+        (match !pending with
+         | Some (first_vpn, n, first_pfn, locked, cow, pcls, [])
+           when first_vpn + n = vpn
+                && first_pfn + n = pr.Proc.pfn
+                && locked = pr.Proc.locked && cow = pr.Proc.cow && pcls = cls
+                && ann = [] ->
+           pending := Some (first_vpn, n + 1, first_pfn, locked, cow, pcls, [])
+         | _ ->
+           flush_pending ();
+           pending :=
+             Some (vpn, 1, pr.Proc.pfn, pr.Proc.locked, pr.Proc.cow, cls, ann))
+      | Some (Proc.Swapped slot) ->
+        flush_pending ();
+        Buffer.add_string buf
+          (Printf.sprintf "%08x-%08x rw-- swap slot %d" (vpn * ps) ((vpn + 1) * ps) slot);
+        (match List.assoc_opt slot stashes with
+         | Some entries ->
+           let per_origin = Hashtbl.create 4 in
+           List.iter
+             (fun (_, l, (info : Obs.Provenance.info)) ->
+               match Hashtbl.find_opt per_origin info.Obs.Provenance.origin with
+               | Some r -> r := !r + l
+               | None -> Hashtbl.replace per_origin info.Obs.Provenance.origin (ref l))
+             entries;
+           pp_annotation buf
+             (Hashtbl.fold (fun o r acc -> (o, !r) :: acc) per_origin []
+              |> List.sort compare)
+         | None -> ());
+        Buffer.add_char buf '\n'
+      | None -> ())
+    (Proc.mapped_vpns p);
+  flush_pending ()
+
+let maps k =
+  let buf = Buffer.create 1024 in
+  List.iter (proc_maps k buf) (Kernel.live_procs k);
+  Buffer.contents buf
+
+let buddyinfo k =
+  let buddy = Kernel.buddy k in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "==> buddyinfo <==\nfree=%d allocated=%d hot=%d\n"
+       (Buddy.free_pages buddy) (Buddy.allocated_pages buddy)
+       (Buddy.hot_list_size buddy));
+  Buffer.add_string buf "order: ";
+  List.iter
+    (fun (order, _) -> Buffer.add_string buf (Printf.sprintf "%6d" order))
+    (Buddy.free_blocks_by_order buddy);
+  Buffer.add_string buf "\nblocks:";
+  List.iter
+    (fun (_, count) -> Buffer.add_string buf (Printf.sprintf "%6d" count))
+    (Buddy.free_blocks_by_order buddy);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* which (pid, vpn) holds each in-use slot *)
+let swap_slot_owners k =
+  List.concat_map
+    (fun (p : Proc.t) ->
+      List.filter_map
+        (fun vpn ->
+          match Proc.find_pte p ~vpn with
+          | Some (Proc.Swapped slot) -> Some (slot, (p.Proc.pid, vpn))
+          | _ -> None)
+        (Proc.mapped_vpns p))
+    (Kernel.live_procs k)
+
+let swaps k =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "==> swaps <==\n";
+  (match Kernel.swap k with
+   | None -> Buffer.add_string buf "no swap device\n"
+   | Some sw ->
+     Buffer.add_string buf
+       (Printf.sprintf "slots=%d used=%d free=%d\n" (Swap.total_slots sw)
+          (Swap.used_slots sw) (Swap.free_slots sw));
+     let owners = swap_slot_owners k in
+     let stashes = Obs.Provenance.stashed (Kernel.obs k) in
+     List.iter
+       (fun slot ->
+         Buffer.add_string buf (Printf.sprintf "slot %04d" slot);
+         (match List.assoc_opt slot owners with
+          | Some (pid, vpn) ->
+            Buffer.add_string buf (Printf.sprintf " pid=%d vpn=%d" pid vpn)
+          | None -> Buffer.add_string buf " (unowned)");
+         (match List.assoc_opt slot stashes with
+          | Some entries ->
+            let bytes =
+              List.fold_left (fun acc (_, l, _) -> acc + l) 0 entries
+            in
+            Buffer.add_string buf (Printf.sprintf "  key: %d bytes stashed" bytes)
+          | None -> ());
+         Buffer.add_char buf '\n')
+       (Swap.used_slot_list sw));
+  Buffer.contents buf
+
+let pagecache k =
+  let buf = Buffer.create 256 in
+  let pc = Kernel.page_cache k in
+  let obs = Kernel.obs k in
+  let mem = Kernel.mem k in
+  let ps = Kernel.page_size k in
+  let fs = Kernel.fs k in
+  let path_of_ino =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun path ->
+        match Fs.ino_of_path fs path with
+        | Some ino -> Hashtbl.replace tbl ino path
+        | None -> ())
+      (Fs.list_paths fs);
+    fun ino ->
+      match Hashtbl.find_opt tbl ino with Some p -> p | None -> "?"
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "==> pagecache <==\ncached frames=%d\n" (Page_cache.cached_frames pc));
+  List.iter
+    (fun (ino, index, pfn) ->
+      Buffer.add_string buf
+        (Printf.sprintf "ino %d (%s) index %d pfn %05d" ino (path_of_ino ino) index pfn);
+      pp_annotation buf
+        (Obs.Provenance.covering obs ~addr:(Phys_mem.addr_of_pfn mem pfn) ~len:ps);
+      Buffer.add_char buf '\n')
+    (Page_cache.entries pc);
+  Buffer.contents buf
+
+let meminfo k =
+  let st = Kernel.stats k in
+  let obs = Kernel.obs k in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "==> meminfo <==\nfree=%d allocated=%d cached=%d procs=%d swap_used=%d\n"
+       st.Kernel.free_pages st.Kernel.allocated_pages st.Kernel.cached_frames
+       st.Kernel.live_proc_count st.Kernel.swap_slots_used);
+  if Obs.enabled obs then begin
+    let ivs = Obs.Provenance.intervals obs in
+    let bytes = List.fold_left (fun acc (_, l, _) -> acc + l) 0 ivs in
+    Buffer.add_string buf
+      (Printf.sprintf "key copies: %d intervals, %d bytes\n" (List.length ivs) bytes);
+    match Obs.Exposure.totals obs with
+    | [] -> ()
+    | totals ->
+      Buffer.add_string buf
+        (Printf.sprintf "exposure (byte-ticks through tick %d):\n"
+           (Obs.Exposure.last_advance obs));
+      List.iter
+        (fun ((o, c), v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-12s %-12s %12d\n" (Obs.origin_name o)
+               (Obs.class_name c) v))
+        totals
+  end;
+  Buffer.contents buf
+
+let render k =
+  String.concat "\n" [ meminfo k; maps k; buddyinfo k; pagecache k; swaps k ]

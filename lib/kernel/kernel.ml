@@ -37,9 +37,22 @@ type t = {
   obs : Obs.ctx;
 }
 
+(* exposure-ledger classification hook: a frame's class is a pure function
+   of its descriptor (owner + lock flag) *)
+let classify_phys_mem mem ~addr =
+  let page = Phys_mem.page mem (Phys_mem.pfn_of_addr mem addr) in
+  match page.Page.owner with
+  | Page.Free -> Obs.Exposure.Free_ram
+  | Page.Anon ->
+    if page.Page.locked then Obs.Exposure.Mlocked_anon else Obs.Exposure.Plain_anon
+  | Page.Page_cache _ -> Obs.Exposure.Cached
+  | Page.Kernel -> Obs.Exposure.Kernel_buf
+
 let create ?(config = default_config) ?(obs = Obs.null) () =
   let mem = Phys_mem.create ~page_size:config.page_size ~num_pages:config.num_pages () in
   let buddy = Buddy.create ~zero_on_free:config.zero_on_free ~obs mem in
+  Obs.Exposure.set_classifier obs ~page_size:config.page_size (fun ~addr ->
+      classify_phys_mem mem ~addr);
   { cfg = config;
     mem;
     buddy;
@@ -554,6 +567,8 @@ let ext2_unmount t =
   t.ext2_blocks <- []
 
 (* ---- introspection ---- *)
+
+let classify_phys t ~addr = classify_phys_mem t.mem ~addr
 
 let frame_owners t ~pfn =
   List.filter_map

@@ -160,6 +160,12 @@ val ext2_unmount : t -> unit
 
 (** {1 Introspection (used by the scanner)} *)
 
+val classify_phys : t -> addr:int -> Memguard_obs.Obs.mem_class
+(** Exposure class of the frame holding physical [addr] — the same
+    classification hook {!create} installs into the observability context
+    ([Memguard_obs.Obs.Exposure.set_classifier]); exposed so tests and
+    introspection can recompute the ledger independently. *)
+
 val frame_owners : t -> pfn:int -> int list
 (** Reverse mapping: pids of live processes mapping this frame (the rmap
     walk of the paper's LKM). *)

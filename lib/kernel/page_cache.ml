@@ -106,3 +106,7 @@ let evict_all t =
 let frames_of_ino t ~ino = List.map snd (entries_of_ino t ~ino) |> List.sort compare
 
 let cached_frames t = Hashtbl.length t.entries
+
+let entries t =
+  Hashtbl.fold (fun (ino, index) e acc -> (ino, index, e.pfn) :: acc) t.entries []
+  |> List.sort compare

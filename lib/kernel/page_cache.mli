@@ -40,3 +40,7 @@ val frames_of_ino : t -> ino:int -> int list
 
 val cached_frames : t -> int
 (** Total number of frames held by the cache. *)
+
+val entries : t -> (int * int * int) list
+(** Every cached page as [(ino, index, pfn)], sorted — the
+    residency view for [/proc]-style introspection. *)

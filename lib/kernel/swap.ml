@@ -17,6 +17,7 @@ let create ?(slots = 1024) ~page_size () =
 let page_size t = t.page_size
 let total_slots t = t.slots
 let used_slots t = t.used_count
+let free_slots t = t.slots - t.used_count
 
 let slot_in_use t slot = slot >= 0 && slot < t.slots && t.used.(slot)
 

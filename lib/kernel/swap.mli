@@ -13,6 +13,7 @@ val create : ?slots:int -> page_size:int -> unit -> t
 val page_size : t -> int
 val total_slots : t -> int
 val used_slots : t -> int
+val free_slots : t -> int
 
 val slot_in_use : t -> int -> bool
 (** Is the slot currently reserved?  (Audit accessor: every [Swapped] PTE

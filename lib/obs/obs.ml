@@ -6,9 +6,10 @@ type origin =
   | Page_cache
   | Swap
   | Heap_copy
+  | Bn_temp
 
 let all_origins =
-  [ Pem_buffer; Der_temp; Bn_limbs; Mont_cache; Page_cache; Swap; Heap_copy ]
+  [ Pem_buffer; Der_temp; Bn_limbs; Mont_cache; Page_cache; Swap; Heap_copy; Bn_temp ]
 
 let origin_name = function
   | Pem_buffer -> "pem_buffer"
@@ -18,8 +19,32 @@ let origin_name = function
   | Page_cache -> "page_cache"
   | Swap -> "swap"
   | Heap_copy -> "heap_copy"
+  | Bn_temp -> "bn_temp"
 
 let origin_of_name s = List.find_opt (fun o -> origin_name o = s) all_origins
+
+(* BN_CTX temporaries hold reduced CRT intermediates, not key parts: they
+   are tracked (the scanner cannot tell the difference) but excluded from
+   the breach SLO and the confinement accounting. *)
+let origin_sensitive = function Bn_temp -> false | _ -> true
+
+type mem_class =
+  | Mlocked_anon
+  | Plain_anon
+  | Cached
+  | Kernel_buf
+  | Free_ram
+  | Swapped
+
+let all_classes = [ Mlocked_anon; Plain_anon; Cached; Kernel_buf; Free_ram; Swapped ]
+
+let class_name = function
+  | Mlocked_anon -> "mlocked_anon"
+  | Plain_anon -> "plain_anon"
+  | Cached -> "page_cache"
+  | Kernel_buf -> "kernel_buf"
+  | Free_ram -> "free_ram"
+  | Swapped -> "swap"
 
 type event =
   | Copy_created of { origin : origin; pid : int; addr : int; len : int }
@@ -33,6 +58,14 @@ type event =
   | Scan_started of { mode : string }
   | Scan_finished of { mode : string; hits : int; pages_scanned : int }
   | Audit_violation of { check : string; detail : string }
+  | Exposure_breach of {
+      origin : origin;
+      cls : mem_class;
+      pid : int;
+      addr : int;
+      len : int;
+      age : int;
+    }
 
 type record = { seq : int; tick : int; event : event }
 
@@ -50,6 +83,15 @@ type ctx = {
   histograms : (string, float list ref) Hashtbl.t;
   mutable intervals : interval list;
   stashes : (int, (int * int * info) list) Hashtbl.t;
+  (* exposure ledger *)
+  mutable classifier : (addr:int -> mem_class) option;
+  mutable class_gran : int;  (* frame size: classification granularity *)
+  exposure : (origin * mem_class, int ref) Hashtbl.t;
+  mutable exposure_series : (int * ((origin * mem_class) * int) list) list;
+      (* newest first *)
+  mutable last_advance_ : int;
+  lifetimes_ : (origin, int list ref) Hashtbl.t;
+  mutable breach_age_ : int option;
 }
 
 let make ~enabled ~capacity =
@@ -61,7 +103,14 @@ let make ~enabled ~capacity =
     counters = Hashtbl.create 32;
     histograms = Hashtbl.create 8;
     intervals = [];
-    stashes = Hashtbl.create 8
+    stashes = Hashtbl.create 8;
+    classifier = None;
+    class_gran = 4096;
+    exposure = Hashtbl.create 32;
+    exposure_series = [];
+    last_advance_ = 0;
+    lifetimes_ = Hashtbl.create 8;
+    breach_age_ = None
   }
 
 let null = make ~enabled:false ~capacity:0
@@ -127,6 +176,10 @@ module Trace = struct
        [ ("mode", `S mode); ("hits", `I hits); ("pages_scanned", `I pages_scanned) ])
     | Audit_violation { check; detail } ->
       ("audit_violation", [ ("check", `S check); ("detail", `S detail) ])
+    | Exposure_breach { origin; cls; pid; addr; len; age } ->
+      ("exposure_breach",
+       [ ("origin", `S (origin_name origin)); ("class", `S (class_name cls));
+         ("pid", `I pid); ("addr", `I addr); ("len", `I len); ("age", `I age) ])
 
   let json_field (k, v) =
     match v with
@@ -152,22 +205,64 @@ module Trace = struct
       (records ctx);
     Buffer.contents buf
 
+  (* Timestamps are tick * 1e6 plus the record's rank within its tick, so
+     events inside one tick keep their order and a scan's start/finish pair
+     is at least 1 us apart — wide enough to render as a duration slice. *)
   let to_chrome ctx =
+    let rs = Array.of_list (records ctx) in
+    let n = Array.length rs in
+    let ts = Array.make n 0 in
+    let cur_tick = ref min_int and off = ref 0 in
+    for i = 0 to n - 1 do
+      if rs.(i).tick <> !cur_tick then begin
+        cur_tick := rs.(i).tick;
+        off := 0
+      end;
+      ts.(i) <- (rs.(i).tick * 1_000_000) + min !off 999_999;
+      incr off
+    done;
+    let consumed = Array.make n false in
     let buf = Buffer.create 4096 in
     Buffer.add_string buf "[";
-    List.iteri
-      (fun i r ->
-        if i > 0 then Buffer.add_string buf ",\n " else Buffer.add_string buf "\n ";
-        let name, fields = fields_of_event r.event in
-        let pid =
-          match List.assoc_opt "pid" fields with Some (`I p) -> p | _ -> 0
-        in
-        Buffer.add_string buf
-          (Printf.sprintf
-             "{\"name\":%S,\"ph\":\"i\",\"s\":\"g\",\"ts\":%d,\"pid\":%d,\"tid\":0,\"args\":{%s}}"
-             name (r.tick * 1_000_000) pid
-             (String.concat "," (List.map json_field fields))))
-      (records ctx);
+    let first = ref true in
+    let emit_obj s =
+      Buffer.add_string buf (if !first then "\n " else ",\n ");
+      first := false;
+      Buffer.add_string buf s
+    in
+    let instant r t =
+      let name, fields = fields_of_event r.event in
+      let pid = match List.assoc_opt "pid" fields with Some (`I p) -> p | _ -> 0 in
+      Printf.sprintf
+        "{\"name\":%S,\"ph\":\"i\",\"s\":\"g\",\"ts\":%d,\"pid\":%d,\"tid\":0,\"args\":{%s}}"
+        name t pid
+        (String.concat "," (List.map json_field fields))
+    in
+    for i = 0 to n - 1 do
+      if not consumed.(i) then
+        match rs.(i).event with
+        | Scan_started { mode } -> (
+          let rec find j =
+            if j >= n then None
+            else
+              match rs.(j).event with
+              | Scan_finished { mode = m; _ } when m = mode && not consumed.(j) ->
+                Some j
+              | _ -> find (j + 1)
+          in
+          match find (i + 1) with
+          | Some j ->
+            consumed.(j) <- true;
+            let _, fields = fields_of_event rs.(j).event in
+            emit_obj
+              (Printf.sprintf
+                 "{\"name\":\"scan\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\"tid\":0,\"args\":{%s}}"
+                 ts.(i)
+                 (max 1 (ts.(j) - ts.(i)))
+                 (String.concat "," (List.map json_field fields)))
+          | None -> emit_obj (instant rs.(i) ts.(i)))
+        | _ -> emit_obj (instant rs.(i) ts.(i))
+    done;
     Buffer.add_string buf "\n]\n";
     Buffer.contents buf
 end
@@ -215,18 +310,27 @@ module Metrics = struct
     Hashtbl.reset ctx.counters;
     Hashtbl.reset ctx.histograms
 
+  (* empty histograms have no percentiles: print "-" / emit null rather
+     than NaN (which is invalid JSON) *)
+  let pct_text vs p =
+    match vs with [] -> "-" | _ -> Printf.sprintf "%.6f" (percentile vs p)
+
+  let pct_json vs p =
+    match vs with [] -> "null" | _ -> Printf.sprintf "%.6f" (percentile vs p)
+
   let dump fmt ctx =
     Format.fprintf fmt "%-36s %12s@." "counter" "value";
     List.iter (fun (k, v) -> Format.fprintf fmt "%-36s %12d@." k v) (counters ctx);
     match histograms ctx with
     | [] -> ()
     | hs ->
-      Format.fprintf fmt "%-36s %8s %12s %12s %12s@." "histogram" "count" "p50" "p90" "max";
+      Format.fprintf fmt "%-36s %8s %12s %12s %12s %12s@." "histogram" "count" "p50" "p90"
+        "p99" "max";
       List.iter
         (fun name ->
           let vs = samples ctx name in
-          Format.fprintf fmt "%-36s %8d %12.6f %12.6f %12.6f@." name (List.length vs)
-            (percentile vs 50.) (percentile vs 90.) (percentile vs 100.))
+          Format.fprintf fmt "%-36s %8d %12s %12s %12s %12s@." name (List.length vs)
+            (pct_text vs 50.) (pct_text vs 90.) (pct_text vs 99.) (pct_text vs 100.))
         hs
 
   let to_json ctx =
@@ -243,9 +347,10 @@ module Metrics = struct
         let vs = samples ctx name in
         Buffer.add_string buf (if i > 0 then ",\n    " else "\n    ");
         Buffer.add_string buf
-          (Printf.sprintf "%S: {\"count\": %d, \"p50\": %.6f, \"p90\": %.6f, \"max\": %.6f}"
-             name (List.length vs) (percentile vs 50.) (percentile vs 90.)
-             (percentile vs 100.)))
+          (Printf.sprintf
+             "%S: {\"count\": %d, \"p50\": %s, \"p90\": %s, \"p99\": %s, \"max\": %s}"
+             name (List.length vs) (pct_json vs 50.) (pct_json vs 90.) (pct_json vs 99.)
+             (pct_json vs 100.)))
       (histograms ctx);
     Buffer.add_string buf "\n  }\n}\n";
     Buffer.contents buf
@@ -256,6 +361,13 @@ end
 module Provenance = struct
   type nonrec info = info = { origin : origin; pid : int; birth_tick : int }
 
+  (* birth-to-zeroed lifetime histogram, fed by [clear] *)
+  let record_lifetime ctx (info : info) =
+    let age = ctx.tick_ - info.birth_tick in
+    match Hashtbl.find_opt ctx.lifetimes_ info.origin with
+    | Some r -> r := age :: !r
+    | None -> Hashtbl.replace ctx.lifetimes_ info.origin (ref [ age ])
+
   let clear ctx ~addr ~len =
     if ctx.enabled_ && len > 0 then begin
       let e = addr + len in
@@ -264,9 +376,11 @@ module Provenance = struct
           (fun iv ->
             let s = iv.start and ie = iv.start + iv.ilen in
             if ie <= addr || s >= e then [ iv ]
-            else
+            else begin
+              record_lifetime ctx iv.info;
               (if s < addr then [ { iv with ilen = addr - s } ] else [])
-              @ (if ie > e then [ { start = e; ilen = ie - e; info = iv.info } ] else []))
+              @ (if ie > e then [ { start = e; ilen = ie - e; info = iv.info } ] else [])
+            end)
           ctx.intervals
     end
 
@@ -321,4 +435,111 @@ module Provenance = struct
   let intervals ctx =
     List.map (fun iv -> (iv.start, iv.ilen, iv.info)) ctx.intervals
     |> List.sort compare
+
+  let stashed ctx =
+    Hashtbl.fold (fun slot entries acc -> (slot, entries) :: acc) ctx.stashes []
+    |> List.sort compare
+
+  let covering ctx ~addr ~len =
+    let per_origin = Hashtbl.create 4 in
+    List.iter
+      (fun (_, l, info) ->
+        match Hashtbl.find_opt per_origin info.origin with
+        | Some r -> r := !r + l
+        | None -> Hashtbl.replace per_origin info.origin (ref l))
+      (overlaps ctx ~addr ~len);
+    Hashtbl.fold (fun o r acc -> (o, !r) :: acc) per_origin [] |> List.sort compare
+end
+
+(* ---- exposure ledger ---- *)
+
+module Exposure = struct
+  type nonrec mem_class = mem_class =
+    | Mlocked_anon
+    | Plain_anon
+    | Cached
+    | Kernel_buf
+    | Free_ram
+    | Swapped
+
+  let set_classifier ctx ~page_size f =
+    if ctx.enabled_ then begin
+      ctx.classifier <- Some f;
+      ctx.class_gran <- page_size
+    end
+
+  let set_breach_age ctx age =
+    if ctx.enabled_ then ctx.breach_age_ <- age
+
+  let breach_age ctx = ctx.breach_age_
+
+  let total ctx ~origin ~cls =
+    match Hashtbl.find_opt ctx.exposure (origin, cls) with Some r -> !r | None -> 0
+
+  let totals ctx =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) ctx.exposure []
+    |> List.filter (fun (_, v) -> v > 0)
+    |> List.sort compare
+
+  let series ctx = List.rev ctx.exposure_series
+
+  let last_advance ctx = ctx.last_advance_
+
+  let lifetimes ctx origin =
+    match Hashtbl.find_opt ctx.lifetimes_ origin with
+    | Some r -> List.rev !r
+    | None -> []
+
+  (* Sample-and-hold integration: every live interval (and every stashed
+     swap-slot image) contributes len * (t - last_advance) byte-ticks to
+     its (origin, class) bucket, classified at advance time.  Intervals are
+     split on frame boundaries because classification is per frame.  The
+     ledger only reads simulated state — it never mutates it. *)
+  let advance ctx t =
+    match ctx.classifier with
+    | None -> ()
+    | Some classify ->
+      if ctx.enabled_ && t > ctx.last_advance_ then begin
+        let dt = t - ctx.last_advance_ in
+        let add origin cls bytes =
+          let key = (origin, cls) in
+          match Hashtbl.find_opt ctx.exposure key with
+          | Some r -> r := !r + (bytes * dt)
+          | None -> Hashtbl.replace ctx.exposure key (ref (bytes * dt))
+        in
+        let breach (info : info) cls addr len =
+          match ctx.breach_age_ with
+          | Some limit when origin_sensitive info.origin && cls <> Mlocked_anon ->
+            let age = t - info.birth_tick in
+            let prev_age = ctx.last_advance_ - info.birth_tick in
+            if age >= limit && prev_age < limit then
+              Trace.emit ctx
+                (Exposure_breach
+                   { origin = info.origin; cls; pid = info.pid; addr; len; age })
+          | _ -> ()
+        in
+        let gran = ctx.class_gran in
+        List.iter
+          (fun iv ->
+            let e = iv.start + iv.ilen in
+            let pos = ref iv.start in
+            while !pos < e do
+              let next = min e (((!pos / gran) + 1) * gran) in
+              let cls = classify ~addr:!pos in
+              add iv.info.origin cls (next - !pos);
+              breach iv.info cls !pos (next - !pos);
+              pos := next
+            done)
+          (List.sort compare ctx.intervals);
+        List.iter
+          (fun (slot, entries) ->
+            List.iter
+              (fun (off, l, info) ->
+                add info.origin Swapped l;
+                breach info Swapped ((slot * gran) + off) l)
+              entries)
+          (Provenance.stashed ctx);
+        ctx.last_advance_ <- t;
+        ctx.exposure_series <- (t, totals ctx) :: ctx.exposure_series
+      end
 end

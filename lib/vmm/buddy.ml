@@ -153,6 +153,11 @@ let free_page t pfn = free t ~pfn ~order:0
 let free_pages t = t.free_count
 let allocated_pages t = Phys_mem.num_pages t.mem - t.free_count
 
+let free_blocks_by_order t =
+  Array.to_list (Array.mapi (fun order set -> (order, Iset.cardinal set)) t.free_lists)
+
+let hot_list_size t = List.length t.hot
+
 let is_free_block t ~pfn =
   (* membership, not base identity: a pfn in the interior of a coalesced
      order>0 block is just as free as its base *)

@@ -56,6 +56,14 @@ val free_pages : t -> int
 
 val allocated_pages : t -> int
 
+val free_blocks_by_order : t -> (int * int) list
+(** [(order, block_count)] for every order [0..max_order] — the
+    [/proc/buddyinfo] occupancy view (the hot list is separate, see
+    {!hot_list_size}). *)
+
+val hot_list_size : t -> int
+(** Pages parked on the hot list (recently freed order-0 frames). *)
+
 val is_free_block : t -> pfn:int -> bool
 (** Is [pfn] covered by any free block (hot list or per-order sets)?
     Answers membership for interior pages of coalesced order>0 blocks,

@@ -16,6 +16,7 @@ let () =
          Test_scan_cache.suite;
          Test_report_diff.suite;
          Test_obs.suite;
+         Test_exposure.suite;
          Test_attack.suite;
          Test_apps.suite;
          Test_proto.suite;
