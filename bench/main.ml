@@ -336,6 +336,113 @@ let chaos_bench () =
       Protection.Integrated ]
 
 (* ------------------------------------------------------------------ *)
+(* Part 1d: deterministic perf gate (--baseline / --check)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Simulated-cycle totals of the overhead report on a small machine.
+   Unlike every wall-clock number above, these are exact and
+   reproducible bit-for-bit across hosts, so CI can diff them against a
+   committed baseline with a tight tolerance and zero noise.  A failure
+   means a code change made some countermeasure (or the unprotected
+   baseline) do more simulated work — which is exactly the regression
+   the gate exists to catch. *)
+let gate_metrics () =
+  let rows = Overhead.run ~num_pages:1024 () in
+  let slug level = String.map (function '-' -> '_' | c -> c) (Protection.name level) in
+  List.concat_map
+    (fun (r : Overhead.row) ->
+      (Printf.sprintf "overhead_cycles_%s" (slug r.Overhead.level), r.Overhead.cycles)
+      ::
+      (* per-subsystem rows pinpoint *which* mechanism regressed *)
+      List.map
+        (fun (sub, c) ->
+          (Printf.sprintf "overhead_cycles_%s_%s" (slug r.Overhead.level) sub, c))
+        r.Overhead.by_subsystem)
+    rows
+
+let metrics_to_json metrics =
+  Printf.sprintf "{\n%s\n}\n"
+    (String.concat ",\n" (List.map (fun (k, v) -> Printf.sprintf "  %S: %d" k v) metrics))
+
+(* flat {"key": number} parser — just enough for baseline.json, so the
+   gate needs no JSON library *)
+let parse_flat_json s =
+  let n = String.length s in
+  let metrics = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '"' then begin
+      let j = String.index_from s (!i + 1) '"' in
+      let key = String.sub s (!i + 1) (j - !i - 1) in
+      let k = ref (j + 1) in
+      while !k < n && (s.[!k] = ':' || s.[!k] = ' ' || s.[!k] = '\n') do incr k done;
+      let start = !k in
+      while
+        !k < n && (match s.[!k] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr k
+      done;
+      if !k > start then
+        metrics := (key, int_of_string (String.sub s start (!k - start))) :: !metrics;
+      i := !k
+    end
+    else incr i
+  done;
+  List.rev !metrics
+
+let write_baseline path =
+  let metrics = gate_metrics () in
+  let oc = open_out path in
+  output_string oc (metrics_to_json metrics);
+  close_out oc;
+  Format.printf "wrote %s (%d metrics)@." path (List.length metrics)
+
+let check_baseline path ~tolerance =
+  section
+    (Printf.sprintf "perf gate — simulated cycles vs %s (tolerance %d%%)" path tolerance);
+  let baseline =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    parse_flat_json s
+  in
+  let current = gate_metrics () in
+  let failed = ref 0 in
+  Format.printf "%-42s %14s %14s %9s@." "metric" "baseline" "current" "delta";
+  List.iter
+    (fun (key, cur) ->
+      match List.assoc_opt key baseline with
+      | None -> Format.printf "%-42s %14s %14d %9s  new metric@." key "-" cur "-"
+      | Some base ->
+        let delta = 100. *. (float_of_int (cur - base) /. float_of_int (max 1 base)) in
+        let verdict =
+          if cur > base + (base * tolerance / 100) then begin
+            incr failed;
+            "REGRESSION"
+          end
+          else if base > cur + (cur * tolerance / 100) then
+            "improved — consider refreshing the baseline"
+          else "ok"
+        in
+        Format.printf "%-42s %14d %14d %+8.1f%%  %s@." key base cur delta verdict)
+    current;
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key current) then begin
+        incr failed;
+        Format.printf "%-42s vanished from the current run: REGRESSION@." key
+      end)
+    baseline;
+  if !failed > 0 then begin
+    Format.printf "@.perf gate FAILED: %d metric(s) regressed beyond %d%%@." !failed
+      tolerance;
+    exit 1
+  end
+  else
+    Format.printf "@.perf gate ok: %d metric(s) within %d%% of baseline@."
+      (List.length current) tolerance
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -491,9 +598,24 @@ let () =
   let skip_micro = List.mem "--skip-micro" args in
   let json = List.mem "--json" args in
   let chaos = List.mem "--chaos" args in
+  let arg_value flag =
+    let rec go = function
+      | a :: v :: _ when String.equal a flag -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let tolerance =
+    match arg_value "--tolerance" with Some s -> int_of_string s | None -> 15
+  in
   Format.printf
     "memguard benchmark harness — Harrison & Xu, DSN'07 reproduction@.\
      (shapes, not absolute values, are the comparison target; see EXPERIMENTS.md)@.";
+  match (arg_value "--check", arg_value "--baseline") with
+  | Some path, _ -> check_baseline path ~tolerance
+  | None, Some path -> write_baseline path
+  | None, None ->
   if json then scan_engine_bench ()
   else if chaos then chaos_bench ()
   else begin

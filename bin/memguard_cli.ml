@@ -449,6 +449,68 @@ let observe_cmd =
     Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ scan_mode_arg
           $ churn $ breach_age $ html $ json)
 
+let overhead_cmd =
+  let module Obs = Memguard_obs.Obs in
+  let run seed pages scan_mode json flamegraph trace flame_level =
+    let rows = Overhead.run ~num_pages:pages ~seed ~scan_mode () in
+    Overhead.pp Format.std_formatter rows;
+    (match json with
+     | Some path ->
+       write_file path (Overhead.to_json rows);
+       Format.printf "@.wrote %s@." path
+     | None -> ());
+    let profiled () =
+      match
+        List.find_opt (fun (r : Overhead.row) -> r.Overhead.level = flame_level) rows
+      with
+      | Some r -> r.Overhead.obs
+      | None -> failwith ("overhead: no row for level " ^ Protection.name flame_level)
+    in
+    (match flamegraph with
+     | Some path ->
+       write_file path (Obs.Profiler.to_collapsed (profiled ()));
+       Format.printf "@.wrote %s (collapsed stacks, %s level)@." path
+         (Protection.name flame_level)
+     | None -> ());
+    match trace with
+    | Some path ->
+      write_file path (Obs.Profiler.to_chrome (profiled ()));
+      Format.printf "@.wrote %s (chrome trace, %s level)@." path
+        (Protection.name flame_level)
+    | None -> ()
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the overhead table as JSON to $(docv).")
+  in
+  let flamegraph =
+    Arg.(value & opt (some string) None
+         & info [ "flamegraph" ] ~docv:"FILE"
+             ~doc:"Write collapsed-stack (flamegraph.pl / speedscope) text for the \
+                   $(b,--flame-level) run to $(docv).")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write profiler spans as Chrome trace_event JSON (cycle clock, per-pid \
+                   rows) for the $(b,--flame-level) run to $(docv).")
+  in
+  let flame_level =
+    Arg.(value & opt level_conv Protection.Integrated
+         & info [ "flame-level" ] ~docv:"LEVEL"
+             ~doc:"Which level's profile the flamegraph/trace exports read (default \
+                   integrated).")
+  in
+  Cmd.v
+    (Cmd.info "overhead"
+       ~doc:
+         "Countermeasure overhead report: run the fig-5 sshd timeline at the four \
+          protection levels under the deterministic simulated-cycle cost model and print \
+          the paper-style table (cycles per connection and signature, per-subsystem \
+          breakdown, slowdown vs unprotected)")
+    Term.(const run $ seed_arg $ pages_arg 4096 $ scan_mode_arg $ json $ flamegraph
+          $ trace $ flame_level)
+
 let inspect_cmd =
   let module Obs = Memguard_obs.Obs in
   let module Introspect = Memguard_kernel.Introspect in
@@ -489,6 +551,6 @@ let main =
          "Reproduction of Harrison & Xu, 'Protecting Cryptographic Keys from Memory \
           Disclosure Attacks' (DSN'07)")
     [ timeline_cmd; ext2_cmd; tty_cmd; before_after_cmd; perf_cmd; ablations_cmd; dat_cmd;
-      levels_cmd; chaos_cmd; observe_cmd; inspect_cmd ]
+      levels_cmd; chaos_cmd; observe_cmd; overhead_cmd; inspect_cmd ]
 
 let () = Stdlib.exit (Cmd.eval main)

@@ -1,4 +1,5 @@
 open Memguard_kernel
+module Obs = Memguard_obs.Obs
 module Ssl = Memguard_ssl.Ssl
 module Sim_rsa = Memguard_ssl.Sim_rsa
 module Rsa = Memguard_crypto.Rsa
@@ -77,6 +78,9 @@ let open_connection t rng =
   | None -> None
   | Some w ->
     w.busy <- true;
+    Obs.Profiler.span ~pid:w.proc.Proc.pid (Kernel.obs t.kernel) "apache.connection"
+    @@ fun () ->
+    Obs.Metrics.incr (Kernel.obs t.kernel) "apache.requests";
     (* mod_ssl handshake in the worker: this is where the Montgomery cache
        (fresh copies of p and q) lands in the worker's heap *)
     let session = handshake t w.proc rng in
@@ -88,6 +92,8 @@ let open_connection t rng =
 
 let serve t conn rng ~kib =
   let w = conn.worker in
+  Obs.Profiler.span ~pid:w.proc.Proc.pid (Kernel.obs t.kernel) "apache.serve"
+  @@ fun () ->
   for _ = 1 to max 1 kib do
     (* one TLS record per KiB of response body *)
     let body = Bytes.to_string (Prng.bytes rng 64) in
@@ -110,14 +116,17 @@ let cull_idle t =
 
 let close_connection t conn =
   let w = conn.worker in
-  if w.busy then begin
-    Tls_rsa.close t.kernel w.proc conn.session;
-    w.busy <- false;
-    w.handled <- w.handled + 1;
-    if t.opts.max_requests_per_child > 0 && w.handled >= t.opts.max_requests_per_child then
-      recycle t w;
-    cull_idle t
-  end
+  if w.busy then
+    Obs.Profiler.span ~pid:w.proc.Proc.pid (Kernel.obs t.kernel) "apache.close"
+    @@ fun () ->
+    begin
+      Tls_rsa.close t.kernel w.proc conn.session;
+      w.busy <- false;
+      w.handled <- w.handled + 1;
+      if t.opts.max_requests_per_child > 0 && w.handled >= t.opts.max_requests_per_child
+      then recycle t w;
+      cull_idle t
+    end
 
 let session conn = conn.session
 

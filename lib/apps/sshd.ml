@@ -1,4 +1,5 @@
 open Memguard_kernel
+module Obs = Memguard_obs.Obs
 module Ssl = Memguard_ssl.Ssl
 module Sim_rsa = Memguard_ssl.Sim_rsa
 module Rsa = Memguard_crypto.Rsa
@@ -46,6 +47,9 @@ let handshake t (proc : Proc.t) (rsa : Sim_rsa.t) rng =
 let open_connection t rng =
   if not t.running then invalid_arg "Sshd.open_connection: server stopped";
   let child = Kernel.fork t.kernel t.listener_proc in
+  Obs.Profiler.span ~pid:child.Proc.pid (Kernel.obs t.kernel) "sshd.connection"
+  @@ fun () ->
+  Obs.Metrics.incr (Kernel.obs t.kernel) "sshd.connections";
   let child_key =
     if t.opts.no_reexec then None
     else
@@ -69,6 +73,8 @@ let open_connection t rng =
   conn
 
 let transfer t conn rng ~kib =
+  Obs.Profiler.span ~pid:conn.child.Proc.pid (Kernel.obs t.kernel) "sshd.transfer"
+  @@ fun () ->
   for _ = 1 to max 1 kib do
     let buf = Kernel.malloc t.kernel conn.child 1024 in
     Kernel.write_mem t.kernel conn.child ~addr:buf (Bytes.to_string (Prng.bytes rng 64));
@@ -78,7 +84,8 @@ let transfer t conn rng ~kib =
 let close_connection t conn =
   if List.memq conn t.conns then begin
     t.conns <- List.filter (fun c -> c != conn) t.conns;
-    Kernel.exit t.kernel conn.child
+    Obs.Profiler.span ~pid:conn.child.Proc.pid (Kernel.obs t.kernel) "sshd.close"
+      (fun () -> Kernel.exit t.kernel conn.child)
   end
 
 let session conn = conn.session

@@ -362,6 +362,14 @@ module Mont = struct
     r2 : t;  (* R^2 mod m, for to_mont *)
   }
 
+  (* Running count of limb multiply-accumulates performed by the Mont
+     kernels.  Host-side bookkeeping only (never part of simulated
+     state); callers that price modular arithmetic read it before and
+     after an operation and charge the delta (see Sim_rsa). *)
+  let word_muls_ = ref 0
+
+  let word_muls () = !word_muls_
+
   let modulus ctx = ctx.m
 
   (* inverse of an odd limb modulo 2^limb_bits by Newton–Hensel lifting *)
@@ -385,6 +393,7 @@ module Mont = struct
   (* REDC(T) = T * R^-1 mod m, for 0 <= T < m*R *)
   let redc ctx t_in =
     let k = ctx.k in
+    word_muls_ := !word_muls_ + (k * (k + 1));
     let mm = ctx.m.mag in
     (* working copy, k extra limbs plus one for carries *)
     let w = Array.make ((2 * k) + 1) 0 in
@@ -428,6 +437,7 @@ module Mont = struct
   (* dst <- a*b*R^-1 mod m.  [t] is scratch of length k+2; aliasing dst
      with a or b is fine (dst is written only after a and b are read). *)
   let mont_mul_raw ~k ~mm ~n0' ~t a b dst =
+    word_muls_ := !word_muls_ + (2 * k * k);
     Array.fill t 0 (k + 2) 0;
     for i = 0 to k - 1 do
       let ai = Array.unsafe_get a i in
@@ -486,6 +496,7 @@ module Mont = struct
      than [mont_mul_raw] with both operands equal.  Aliasing dst with a is
      fine. *)
   let mont_sqr_raw ~k ~mm ~n0' ~t2 a dst =
+    word_muls_ := !word_muls_ + ((k * (k - 1) / 2) + k + (k * k));
     Array.fill t2 0 ((2 * k) + 1) 0;
     (* off-diagonal products, each counted once *)
     for i = 0 to k - 2 do

@@ -113,6 +113,12 @@ module Mont : sig
   val pow : ctx -> base:t -> exp:t -> t
   (** [pow ctx ~base ~exp] = [base^exp mod m] for plain (non-domain)
       [base] with [0 <= base < m], [exp >= 0]. *)
+
+  val word_muls : unit -> int
+  (** Monotone count of limb multiply-accumulates performed by the
+      Montgomery kernels since program start.  Host-side bookkeeping (no
+      simulated state involved): cost-model callers read it before and
+      after an operation and charge the delta. *)
 end
 
 val gcd : t -> t -> t

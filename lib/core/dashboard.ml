@@ -24,6 +24,8 @@ type t = {
   lifetimes : (Obs.origin * int list) list;
   breaches : breach list;
   counters : (string * int) list;
+  cycles : int;
+  cycles_by_subsystem : (string * int) list;
 }
 
 let server_name = function Timeline.Ssh -> "ssh" | Timeline.Http -> "http"
@@ -59,7 +61,9 @@ let run ?(level = Protection.Unprotected) ?(num_pages = 8192) ?(seed = 1)
           match Obs.Exposure.lifetimes obs o with [] -> None | ls -> Some (o, ls))
         Obs.all_origins;
     breaches;
-    counters = Obs.Metrics.counters obs
+    counters = Obs.Metrics.counters obs;
+    cycles = Obs.Cost.total_cycles obs;
+    cycles_by_subsystem = Obs.Cost.by_subsystem obs
   }
 
 (* ---- derived views ---- *)
@@ -167,6 +171,9 @@ let to_json t =
         b.tick (Obs.origin_name b.origin) (Obs.class_name b.cls) b.pid b.addr b.len b.age)
     t.breaches;
   add "],\n";
+  add "  \"overhead\": {\"total_cycles\": %d, \"by_subsystem\": {" t.cycles;
+  comma_sep (fun (s, v) -> add "\"%s\":%d" (json_escape s) v) t.cycles_by_subsystem;
+  add "}},\n";
   add "  \"counters\": {";
   comma_sep (fun (k, v) -> add "\"%s\":%d" (json_escape k) v) t.counters;
   add "}\n}\n";
@@ -330,6 +337,13 @@ let to_html t =
            (Obs.Metrics.percentile fs 99.) (Obs.Metrics.percentile fs 100.))
        ls;
      add "</table>\n");
+  (* overhead *)
+  add "<h2>Simulated-cycle overhead</h2>\n";
+  add "<table><tr><th>subsystem</th><th>cycles</th></tr>";
+  List.iter
+    (fun (s, v) -> add "<tr><td>%s</td><td>%d</td></tr>" (html_escape s) v)
+    t.cycles_by_subsystem;
+  add "<tr><th>total</th><th>%d</th></tr></table>\n" t.cycles;
   (* breaches *)
   add "<h2>SLO breaches</h2>\n";
   (match t.breaches with
@@ -358,4 +372,7 @@ let pp_summary fmt t =
     (fun ((o, c), v) ->
       Format.fprintf fmt "  %-12s %-12s %12d@." (Obs.origin_name o) (Obs.class_name c) v)
     t.totals;
-  Format.fprintf fmt "breaches: %d@." (List.length t.breaches)
+  Format.fprintf fmt "breaches: %d@." (List.length t.breaches);
+  Format.fprintf fmt "simulated cycles: %d (%s)@." t.cycles
+    (String.concat ", "
+       (List.map (fun (s, v) -> Printf.sprintf "%s %d" s v) t.cycles_by_subsystem))

@@ -36,6 +36,9 @@ type t = {
   lifetimes : (Obs.origin * int list) list;
   breaches : breach list;
   counters : (string * int) list;
+  cycles : int;  (** total simulated cycles charged during the run *)
+  cycles_by_subsystem : (string * int) list;
+      (** per-subsystem cost breakdown, sums to [cycles] *)
 }
 
 val run :

@@ -89,7 +89,9 @@ let obs t = t.obs_
 
 let patterns t = Scanner.key_patterns ~pem:t.pem_ t.priv_
 
-let start_sshd t = Sshd.start t.kernel_ ~key_path (Protection.sshd_options t.level_)
+let start_sshd ?opts t =
+  Sshd.start t.kernel_ ~key_path
+    (Option.value opts ~default:(Protection.sshd_options t.level_))
 
 let start_apache ?workers t =
   Apache.start t.kernel_ ~key_path (Protection.apache_options ?workers t.level_)
@@ -101,6 +103,7 @@ let start_plain_app t =
 let scan t ~time =
   let obs = t.obs_ in
   let mode = mode_name t.scan_mode_ in
+  Obs.Profiler.span obs "scan" @@ fun () ->
   Obs.set_tick obs time;
   (* tick the exposure ledger before the sweep: integrate byte·ticks of
      key-copy residence per (origin x class) up to this instant *)

@@ -58,8 +58,10 @@ val obs : t -> Memguard_obs.Obs.ctx
 val patterns : t -> (string * string) list
 (** The scanner patterns for this machine's key (d, p, q, pem). *)
 
-val start_sshd : t -> Memguard_apps.Sshd.t
-(** Start the OpenSSH server with the level's options. *)
+val start_sshd : ?opts:Memguard_apps.Sshd.options -> t -> Memguard_apps.Sshd.t
+(** Start the OpenSSH server with the level's options.  [opts] overrides
+    them wholesale — the overhead report uses this to force re-exec
+    behaviour uniformly across levels so their costs stay comparable. *)
 
 val start_apache : ?workers:int -> t -> Memguard_apps.Apache.t
 

@@ -41,9 +41,9 @@ type driver = {
   shutdown : unit -> unit;
 }
 
-let ssh_driver sys =
+let ssh_driver ?sshd_opts sys =
   let rng = System.rng sys in
-  let srv = System.start_sshd sys in
+  let srv = System.start_sshd ?opts:sshd_opts sys in
   let conns = ref [] in
   let open_one () =
     let c = Sshd.open_connection srv rng in
@@ -123,7 +123,7 @@ let http_driver ~high sys =
   }
 
 let run ?(schedule = default_schedule) ?(low = 8) ?(high = 16) ?traffic ?(churn = 3)
-    ?stop_at sys server =
+    ?stop_at ?sshd_opts sys server =
   let traffic = Option.value traffic ~default:(paper_traffic ~low ~high schedule) in
   let traffic_rng = Memguard_util.Prng.split (System.rng sys) in
   let last = min schedule.finish (Option.value stop_at ~default:schedule.finish) in
@@ -131,7 +131,11 @@ let run ?(schedule = default_schedule) ?(low = 8) ?(high = 16) ?traffic ?(churn 
   let snapshots = ref [] in
   for t = 0 to last do
     if t = schedule.start_server then
-      driver := Some (match server with Ssh -> ssh_driver sys | Http -> http_driver ~high sys);
+      driver :=
+        Some
+          (match server with
+           | Ssh -> ssh_driver ?sshd_opts sys
+           | Http -> http_driver ~high sys);
     (match !driver with
      | Some d when t < schedule.stop_server ->
        let target = Memguard_apps.Workload.concurrency_at traffic traffic_rng ~tick:t in

@@ -35,6 +35,7 @@ val run :
   ?traffic:Memguard_apps.Workload.pattern ->
   ?churn:int ->
   ?stop_at:int ->
+  ?sshd_opts:Memguard_apps.Sshd.options ->
   System.t ->
   server ->
   Memguard_scan.Report.snapshot list
@@ -44,4 +45,6 @@ val run :
     concurrent connections); [churn] is the number of reconnect cycles per
     slot per tick (default 3).  [stop_at] truncates the run after that
     tick's snapshot (clamped to [schedule.finish]) — the machine is left
-    live for introspection ([memguard_cli inspect]). *)
+    live for introspection ([memguard_cli inspect]).  [sshd_opts]
+    overrides the level-derived sshd options (see {!System.start_sshd});
+    only meaningful with [Ssh]. *)

@@ -138,6 +138,11 @@ let try_swap_out t =
                  | None -> raise Done
                  | Some slot ->
                    Swap.write_slot sw slot (swap_transform t ~slot content);
+                   Obs.Cost.charge t.obs ~sub:"swap" ~origin:Obs.Swap Swap_out_page 1;
+                   (* the page copy to the device, doubled when the CTR
+                      transform rewrites it on the way out *)
+                   Obs.Cost.charge t.obs ~sub:"swap" ~origin:Obs.Swap Byte_copied
+                     (t.cfg.page_size * if t.swap_key = None then 1 else 2);
                    Obs.Trace.emit t.obs
                      (Obs.Swap_out { pid = p.Proc.pid; slot; pfn = pr.Proc.pfn });
                    Obs.Trace.emit t.obs
@@ -175,6 +180,8 @@ let vpn_of_vaddr t vaddr = vaddr / t.cfg.page_size
 
 let map_anon_page t (p : Proc.t) ~vpn =
   let pfn = alloc_frame t in
+  Obs.Cost.charge t.obs ~sub:"kernel" Page_fault 1;
+  Obs.Cost.charge t.obs ~sub:"kernel" Byte_zeroed t.cfg.page_size;
   (* Linux zeroes anonymous pages before handing them to userspace *)
   Phys_mem.clear_frame t.mem pfn;
   Obs.Provenance.clear t.obs ~addr:(Phys_mem.addr_of_pfn t.mem pfn) ~len:t.cfg.page_size;
@@ -187,6 +194,9 @@ let swap_in t (p : Proc.t) ~vpn ~slot =
   let sw = Option.get t.swap in
   let pfn = alloc_frame t in
   let content = swap_transform t ~slot (Swap.load sw slot) in
+  Obs.Cost.charge t.obs ~sub:"swap" ~origin:Obs.Swap Swap_in_page 1;
+  Obs.Cost.charge t.obs ~sub:"swap" ~origin:Obs.Swap Byte_copied
+    (t.cfg.page_size * if t.swap_key = None then 1 else 2);
   Phys_mem.write t.mem ~addr:(Phys_mem.addr_of_pfn t.mem pfn) content;
   Obs.Trace.emit t.obs (Obs.Swap_in { pid = p.Proc.pid; slot; pfn });
   Obs.Metrics.incr t.obs "swap.ins";
@@ -224,6 +234,8 @@ let cow_break t ~pid (pr : Proc.present) =
   if page.Page.refcount > 1 then begin
     let src_pfn = pr.Proc.pfn in
     let new_pfn = alloc_frame t in
+    Obs.Cost.charge t.obs ~sub:"kernel" Cow_break 1;
+    Obs.Cost.charge t.obs ~sub:"kernel" Byte_copied t.cfg.page_size;
     Phys_mem.blit_frame t.mem ~src_pfn ~dst_pfn:new_pfn;
     (* the duplicated frame carries whatever key bytes the original held:
        clone their provenance so scanner hits in the copy still attribute *)
@@ -260,6 +272,7 @@ let write_mem t (p : Proc.t) ~addr data =
     let vpn = vaddr / ps and off = vaddr mod ps in
     let chunk = min (ps - off) (len - !pos) in
     let pr = resolve_for_write t p ~vpn in
+    Obs.Cost.charge t.obs ~sub:"kernel" Byte_copied chunk;
     Phys_mem.write t.mem
       ~addr:(Phys_mem.addr_of_pfn t.mem pr.Proc.pfn + off)
       (String.sub data !pos chunk);
@@ -275,6 +288,7 @@ let read_mem t (p : Proc.t) ~addr ~len =
     let vpn = vaddr / ps and off = vaddr mod ps in
     let chunk = min (ps - off) (len - !pos) in
     let pr = resolve_for_read t p ~vpn in
+    Obs.Cost.charge t.obs ~sub:"kernel" Byte_copied chunk;
     Buffer.add_string buf
       (Phys_mem.read t.mem ~addr:(Phys_mem.addr_of_pfn t.mem pr.Proc.pfn + off) ~len:chunk);
     pos := !pos + chunk
@@ -293,6 +307,7 @@ let zero_mem t (p : Proc.t) ~addr ~len =
     let chunk = min (ps - off) (len - !pos) in
     let pr = resolve_for_write t p ~vpn in
     let phys = Phys_mem.addr_of_pfn t.mem pr.Proc.pfn + off in
+    Obs.Cost.charge t.obs ~sub:"kernel" Byte_zeroed chunk;
     Phys_mem.write t.mem ~addr:phys (String.make chunk '\000');
     Obs.Provenance.clear t.obs ~addr:phys ~len:chunk;
     pos := !pos + chunk
@@ -554,6 +569,7 @@ let ext2_mkdir_leak t =
     Bytes.set b 21 '.';
     Bytes.unsafe_to_string b
   in
+  Obs.Cost.charge t.obs ~sub:"kernel" Byte_copied (String.length dirents);
   Phys_mem.write t.mem ~addr dirents;
   let block = Phys_mem.read t.mem ~addr ~len:ps in
   (* the block buffer stays cached while the directory exists, so every

@@ -22,11 +22,14 @@ let lookup t ~ino ~index =
   match Hashtbl.find_opt t.entries (ino, index) with
   | Some e ->
     touch t e;
+    Obs.Cost.charge t.obs ~sub:"page_cache" ~origin:Obs.Page_cache Page_cache_hit 1;
     Some e.pfn
   | None -> None
 
 let drop_frame t ~ino ~index pfn =
   (* remove_from_page_cache + clear_highpage + __free_pages *)
+  Obs.Cost.charge t.obs ~sub:"page_cache" ~origin:Obs.Page_cache Byte_zeroed
+    (Phys_mem.page_size t.mem);
   Phys_mem.clear_frame t.mem pfn;
   Obs.Provenance.clear t.obs ~addr:(Phys_mem.addr_of_pfn t.mem pfn)
     ~len:(Phys_mem.page_size t.mem);
@@ -45,6 +48,12 @@ let insert t ~ino ~index content =
   match Buddy.alloc_page t.buddy with
   | None -> None
   | Some pfn ->
+    Obs.Cost.charge t.obs ~sub:"page_cache" ~origin:Obs.Page_cache Page_cache_miss 1;
+    Obs.Cost.charge t.obs ~sub:"page_cache" ~origin:Obs.Page_cache Disk_read_byte
+      (String.length content);
+    Obs.Cost.charge t.obs ~sub:"page_cache" ~origin:Obs.Page_cache Byte_zeroed ps;
+    Obs.Cost.charge t.obs ~sub:"page_cache" ~origin:Obs.Page_cache Byte_copied
+      (String.length content);
     (* readpage zeroes the tail of a partial page *)
     Phys_mem.clear_frame t.mem pfn;
     let addr = Phys_mem.addr_of_pfn t.mem pfn in

@@ -73,6 +73,64 @@ type info = { origin : origin; pid : int; birth_tick : int }
 
 type interval = { start : int; ilen : int; info : info }
 
+(* ---- simulated-cycle cost model (see Cost below) ---- *)
+
+type cost_op =
+  | Byte_copied
+  | Byte_zeroed
+  | Page_fault
+  | Cow_break
+  | Swap_out_page
+  | Swap_in_page
+  | Page_cache_hit
+  | Page_cache_miss
+  | Disk_read_byte
+  | Mont_word_mul
+  | Scan_byte
+
+type cost_model = {
+  byte_copied : int;
+  byte_zeroed : int;
+  page_fault : int;
+  cow_break : int;
+  swap_out_page : int;
+  swap_in_page : int;
+  page_cache_hit : int;
+  page_cache_miss : int;
+  disk_read_byte : int;
+  mont_word_mul : int;
+  scan_byte : int;
+}
+
+(* ---- hierarchical span profiler (see Profiler below) ---- *)
+
+type span_node = {
+  span_name : string;
+  mutable calls : int;
+  mutable self_cycles : int;
+  children_ : (string, span_node) Hashtbl.t;
+}
+
+type span_frame = {
+  node_ : span_node;
+  fpid : int;
+  start_cycles : int;
+  fdepth : int;
+  fseq : int;
+}
+
+type span = {
+  sname : string;
+  spid : int;
+  sstart : int;  (* cycle clock at enter *)
+  send : int;  (* cycle clock at exit *)
+  sdepth : int;
+  sseq : int;
+}
+
+let make_span_root () =
+  { span_name = "machine"; calls = 0; self_cycles = 0; children_ = Hashtbl.create 8 }
+
 type ctx = {
   enabled_ : bool;
   capacity : int;
@@ -92,7 +150,38 @@ type ctx = {
   mutable last_advance_ : int;
   lifetimes_ : (origin, int list ref) Hashtbl.t;
   mutable breach_age_ : int option;
+  (* cost model & profiler *)
+  mutable cost_model_ : cost_model;
+  mutable cycles_ : int;
+  cost_by_op : (cost_op, int ref * int ref) Hashtbl.t;  (* op -> count, cycles *)
+  cost_by_sub : (string, int ref) Hashtbl.t;
+  cost_by_origin : (origin, int ref) Hashtbl.t;
+  prof_root_ : span_node;
+  mutable prof_stack_ : span_frame list;  (* innermost first *)
+  mutable spans_ : span list;  (* completed, newest first *)
+  mutable span_seq_ : int;
 }
+
+(* One simulated cycle is one byte moved by the CPU; everything else is
+   expressed relative to that.  Faults and device operations carry large
+   fixed costs (trap entry, handler, request setup), disk bytes are an
+   order of magnitude slower than RAM bytes, and a Montgomery word
+   multiply covers the multiply-accumulate plus its share of the carry
+   chain.  The absolute numbers matter less than their ratios: the model
+   is deterministic, so totals are exact and comparable across runs. *)
+let default_cost_model =
+  { byte_copied = 1;
+    byte_zeroed = 1;
+    page_fault = 500;
+    cow_break = 800;
+    swap_out_page = 2000;
+    swap_in_page = 2000;
+    page_cache_hit = 50;
+    page_cache_miss = 300;
+    disk_read_byte = 16;
+    mont_word_mul = 4;
+    scan_byte = 1
+  }
 
 let make ~enabled ~capacity =
   { enabled_ = enabled;
@@ -110,7 +199,16 @@ let make ~enabled ~capacity =
     exposure_series = [];
     last_advance_ = 0;
     lifetimes_ = Hashtbl.create 8;
-    breach_age_ = None
+    breach_age_ = None;
+    cost_model_ = default_cost_model;
+    cycles_ = 0;
+    cost_by_op = Hashtbl.create 16;
+    cost_by_sub = Hashtbl.create 8;
+    cost_by_origin = Hashtbl.create 8;
+    prof_root_ = make_span_root ();
+    prof_stack_ = [];
+    spans_ = [];
+    span_seq_ = 0
   }
 
 let null = make ~enabled:false ~capacity:0
@@ -333,9 +431,13 @@ module Metrics = struct
             (pct_text vs 50.) (pct_text vs 90.) (pct_text vs 99.) (pct_text vs 100.))
         hs
 
+  (* bumped to 2 when [schema_version] itself was introduced *)
+  let schema_version = 2
+
   let to_json ctx =
     let buf = Buffer.create 1024 in
-    Buffer.add_string buf "{\n  \"counters\": {";
+    Buffer.add_string buf (Printf.sprintf "{\n  \"schema_version\": %d," schema_version);
+    Buffer.add_string buf "\n  \"counters\": {";
     List.iteri
       (fun i (k, v) ->
         Buffer.add_string buf (if i > 0 then ",\n    " else "\n    ");
@@ -542,4 +644,234 @@ module Exposure = struct
         ctx.last_advance_ <- t;
         ctx.exposure_series <- (t, totals ctx) :: ctx.exposure_series
       end
+end
+
+(* ---- simulated-cycle cost accounting ---- *)
+
+module Cost = struct
+  type op = cost_op =
+    | Byte_copied
+    | Byte_zeroed
+    | Page_fault
+    | Cow_break
+    | Swap_out_page
+    | Swap_in_page
+    | Page_cache_hit
+    | Page_cache_miss
+    | Disk_read_byte
+    | Mont_word_mul
+    | Scan_byte
+
+  type model = cost_model = {
+    byte_copied : int;
+    byte_zeroed : int;
+    page_fault : int;
+    cow_break : int;
+    swap_out_page : int;
+    swap_in_page : int;
+    page_cache_hit : int;
+    page_cache_miss : int;
+    disk_read_byte : int;
+    mont_word_mul : int;
+    scan_byte : int;
+  }
+
+  let all_ops =
+    [ Byte_copied; Byte_zeroed; Page_fault; Cow_break; Swap_out_page; Swap_in_page;
+      Page_cache_hit; Page_cache_miss; Disk_read_byte; Mont_word_mul; Scan_byte ]
+
+  let op_name = function
+    | Byte_copied -> "byte_copied"
+    | Byte_zeroed -> "byte_zeroed"
+    | Page_fault -> "page_fault"
+    | Cow_break -> "cow_break"
+    | Swap_out_page -> "swap_out_page"
+    | Swap_in_page -> "swap_in_page"
+    | Page_cache_hit -> "page_cache_hit"
+    | Page_cache_miss -> "page_cache_miss"
+    | Disk_read_byte -> "disk_read_byte"
+    | Mont_word_mul -> "mont_word_mul"
+    | Scan_byte -> "scan_byte"
+
+  let default_model = default_cost_model
+
+  let cost m = function
+    | Byte_copied -> m.byte_copied
+    | Byte_zeroed -> m.byte_zeroed
+    | Page_fault -> m.page_fault
+    | Cow_break -> m.cow_break
+    | Swap_out_page -> m.swap_out_page
+    | Swap_in_page -> m.swap_in_page
+    | Page_cache_hit -> m.page_cache_hit
+    | Page_cache_miss -> m.page_cache_miss
+    | Disk_read_byte -> m.disk_read_byte
+    | Mont_word_mul -> m.mont_word_mul
+    | Scan_byte -> m.scan_byte
+
+  let model ctx = ctx.cost_model_
+  let set_model ctx m = if ctx.enabled_ then ctx.cost_model_ <- m
+
+  (* Charging only mutates observer-side state (the ctx and the span
+     tree), never the simulated machine, so cost accounting cannot
+     perturb RAM or frame descriptors: profiler-on runs stay
+     byte-identical to profiler-off runs. *)
+  let charge ctx ~sub ?origin op n =
+    if ctx.enabled_ && n > 0 then begin
+      let c = n * cost ctx.cost_model_ op in
+      ctx.cycles_ <- ctx.cycles_ + c;
+      (match Hashtbl.find_opt ctx.cost_by_op op with
+       | Some (cnt, cyc) ->
+         cnt := !cnt + n;
+         cyc := !cyc + c
+       | None -> Hashtbl.replace ctx.cost_by_op op (ref n, ref c));
+      (match Hashtbl.find_opt ctx.cost_by_sub sub with
+       | Some r -> r := !r + c
+       | None -> Hashtbl.replace ctx.cost_by_sub sub (ref c));
+      (match origin with
+       | None -> ()
+       | Some o -> (
+         match Hashtbl.find_opt ctx.cost_by_origin o with
+         | Some r -> r := !r + c
+         | None -> Hashtbl.replace ctx.cost_by_origin o (ref c)));
+      let node =
+        match ctx.prof_stack_ with
+        | { node_; _ } :: _ -> node_
+        | [] -> ctx.prof_root_
+      in
+      node.self_cycles <- node.self_cycles + c
+    end
+
+  let total_cycles ctx = ctx.cycles_
+
+  let by_op ctx =
+    List.filter_map
+      (fun op ->
+        match Hashtbl.find_opt ctx.cost_by_op op with
+        | Some (cnt, cyc) -> Some (op, !cnt, !cyc)
+        | None -> None)
+      all_ops
+
+  let by_subsystem ctx =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) ctx.cost_by_sub []
+    |> List.sort compare
+
+  let by_origin ctx =
+    Hashtbl.fold (fun o r acc -> (o, !r) :: acc) ctx.cost_by_origin []
+    |> List.sort compare
+
+  let reset ctx =
+    ctx.cycles_ <- 0;
+    Hashtbl.reset ctx.cost_by_op;
+    Hashtbl.reset ctx.cost_by_sub;
+    Hashtbl.reset ctx.cost_by_origin
+end
+
+(* ---- hierarchical span profiler ---- *)
+
+module Profiler = struct
+  type node = span_node
+
+  let node_name (n : node) = n.span_name
+  let node_calls (n : node) = n.calls
+  let node_self_cycles (n : node) = n.self_cycles
+
+  let node_children (n : node) =
+    Hashtbl.fold (fun _ c acc -> c :: acc) n.children_ []
+    |> List.sort (fun a b -> compare a.span_name b.span_name)
+
+  let rec node_total_cycles (n : node) =
+    Hashtbl.fold (fun _ c acc -> acc + node_total_cycles c) n.children_ n.self_cycles
+
+  let root ctx = ctx.prof_root_
+  let depth ctx = List.length ctx.prof_stack_
+
+  let enter ?(pid = 0) ctx name =
+    if ctx.enabled_ then begin
+      let parent =
+        match ctx.prof_stack_ with
+        | { node_; _ } :: _ -> node_
+        | [] -> ctx.prof_root_
+      in
+      let node =
+        match Hashtbl.find_opt parent.children_ name with
+        | Some n -> n
+        | None ->
+          let n =
+            { span_name = name; calls = 0; self_cycles = 0; children_ = Hashtbl.create 4 }
+          in
+          Hashtbl.replace parent.children_ name n;
+          n
+      in
+      node.calls <- node.calls + 1;
+      let frame =
+        { node_ = node;
+          fpid = pid;
+          start_cycles = ctx.cycles_;
+          fdepth = List.length ctx.prof_stack_;
+          fseq = ctx.span_seq_
+        }
+      in
+      ctx.span_seq_ <- ctx.span_seq_ + 1;
+      ctx.prof_stack_ <- frame :: ctx.prof_stack_
+    end
+
+  let exit ctx =
+    if ctx.enabled_ then
+      match ctx.prof_stack_ with
+      | [] -> ()
+      | f :: rest ->
+        ctx.prof_stack_ <- rest;
+        ctx.spans_ <-
+          { sname = f.node_.span_name;
+            spid = f.fpid;
+            sstart = f.start_cycles;
+            send = ctx.cycles_;
+            sdepth = f.fdepth;
+            sseq = f.fseq
+          }
+          :: ctx.spans_
+
+  (* campaign ops can raise (Out_of_memory and friends): always pop *)
+  let span ?pid ctx name f =
+    if not ctx.enabled_ then f ()
+    else begin
+      enter ?pid ctx name;
+      Fun.protect ~finally:(fun () -> exit ctx) f
+    end
+
+  (* collapsed-stack text: one "machine;a;b <self_cycles>" line per node
+     that accumulated cycles of its own (or is a leaf), ready for
+     flamegraph.pl / speedscope *)
+  let to_collapsed ctx =
+    let lines = ref [] in
+    let rec walk path (n : node) =
+      let path = path ^ n.span_name in
+      let kids = node_children n in
+      if n.self_cycles > 0 || kids = [] then
+        lines := Printf.sprintf "%s %d" path n.self_cycles :: !lines;
+      List.iter (walk (path ^ ";")) kids
+    in
+    walk "" ctx.prof_root_;
+    String.concat "\n" (List.sort compare !lines) ^ "\n"
+
+  (* Chrome-trace complete events on the simulated-cycle clock: ts is the
+     cycle count at enter, dur the cycles spent inside.  pid/tid carry the
+     simulated process id so spans nest under their process row in
+     chrome://tracing. *)
+  let to_chrome ctx =
+    let ss =
+      List.sort (fun a b -> compare (a.sstart, a.sseq) (b.sstart, b.sseq)) ctx.spans_
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "[";
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":%S,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"depth\":%d}}"
+             s.sname s.sstart (s.send - s.sstart) s.spid s.spid s.sdepth))
+      ss;
+    Buffer.add_string buf "\n]\n";
+    Buffer.contents buf
 end

@@ -172,9 +172,13 @@ module Metrics : sig
   (** Human-readable table: counters, then histograms as
       [count / p50 / p90 / p99 / max] ([-] for empty histograms). *)
 
+  val schema_version : int
+  (** Version of the {!to_json} schema, emitted as the
+      ["schema_version"] field.  Currently [2]. *)
+
   val to_json : ctx -> string
   (** Percentiles of an empty histogram are emitted as [null] (never
-      [NaN], which is invalid JSON). *)
+      [NaN], which is invalid JSON).  Carries {!schema_version}. *)
 end
 
 (** Registry of physical byte ranges known to hold copies of key-material,
@@ -283,4 +287,151 @@ module Exposure : sig
   val lifetimes : ctx -> origin -> int list
   (** Birth-to-zeroed ages (ticks) of every destroyed interval of this
       origin, in destruction order (fed by [Provenance.clear]). *)
+end
+
+(** Deterministic simulated-cycle cost accounting: what each
+    countermeasure {e costs}, in the same spirit as the paper's
+    performance evaluation of zero-on-free, [O_NOCACHE] re-reads and COW
+    fault handling.
+
+    A single {!Cost.model} record prices every primitive operation the
+    simulation performs (a byte copied, a byte zeroed, a page fault, a
+    swap round-trip, a Montgomery word-multiply, ...).  Instrumentation
+    sites in [Kernel]/[Buddy]/[Swap]/[Page_cache]/[Bn.Mont]/[Scanner]
+    call {!Cost.charge}; charges accumulate into a global cycle clock,
+    per-op / per-subsystem / per-origin breakdowns, and the innermost
+    open {!Profiler} span.  Charging mutates only observer state — never
+    the simulated machine — so totals are exact, reproducible, and a
+    profiler-on run stays byte-identical to a profiler-off run. *)
+module Cost : sig
+  (** Priced primitive operations. *)
+  type op =
+    | Byte_copied  (** one byte moved by CPU copy (memcpy, user I/O) *)
+    | Byte_zeroed  (** one byte cleared (zero_mem, zero-on-free) *)
+    | Page_fault  (** fixed cost of a minor fault (fresh anon page) *)
+    | Cow_break  (** fixed cost of a COW fault, excluding the page copy *)
+    | Swap_out_page  (** fixed per-page swap-device write *)
+    | Swap_in_page  (** fixed per-page swap-device read *)
+    | Page_cache_hit  (** page-cache lookup that hit *)
+    | Page_cache_miss  (** page-cache fill, excluding the disk bytes *)
+    | Disk_read_byte  (** one byte transferred from the backing file *)
+    | Mont_word_mul  (** one Montgomery word multiply-accumulate *)
+    | Scan_byte  (** one byte examined by the key scanner *)
+
+  type model = {
+    byte_copied : int;
+    byte_zeroed : int;
+    page_fault : int;
+    cow_break : int;
+    swap_out_page : int;
+    swap_in_page : int;
+    page_cache_hit : int;
+    page_cache_miss : int;
+    disk_read_byte : int;
+    mont_word_mul : int;
+    scan_byte : int;
+  }
+  (** Cost of each {!op} in simulated cycles. *)
+
+  val all_ops : op list
+
+  val op_name : op -> string
+  (** Lower-snake-case tag ([Byte_copied] -> ["byte_copied"]). *)
+
+  val default_model : model
+  (** One cycle per RAM byte; faults and device ops carry large fixed
+      costs; disk bytes are ~16x RAM bytes; a Montgomery word-multiply
+      is 4 cycles.  Ratios matter more than absolutes — the model is
+      deterministic, so totals are exact across runs. *)
+
+  val cost : model -> op -> int
+
+  val model : ctx -> model
+
+  val set_model : ctx -> model -> unit
+  (** Replace the model for subsequent charges (no-op when disabled).
+      Already-accumulated cycles are not rescaled. *)
+
+  val charge : ctx -> sub:string -> ?origin:origin -> op -> int -> unit
+  (** [charge ctx ~sub op n] adds [n * cost model op] simulated cycles,
+      attributed to subsystem [sub] (e.g. ["kernel"], ["swap"],
+      ["bignum"]), optionally to a key-copy [origin], and to the
+      innermost open profiler span.  No-op when disabled or [n <= 0]. *)
+
+  val total_cycles : ctx -> int
+  (** The global simulated-cycle clock. *)
+
+  val by_op : ctx -> (op * int * int) list
+  (** [(op, count, cycles)] per charged op, in {!all_ops} order. *)
+
+  val by_subsystem : ctx -> (string * int) list
+  (** Cycles per subsystem tag, name-sorted.  Sums exactly to
+      {!total_cycles}. *)
+
+  val by_origin : ctx -> (origin * int) list
+  (** Cycles attributed to key-copy origins (charges that passed
+      [?origin]), sorted.  A partial view: most charges carry none. *)
+
+  val reset : ctx -> unit
+  (** Zero the clock and every breakdown (the profiler tree is
+      untouched). *)
+end
+
+(** Hierarchical span profiler over the simulated-cycle clock.
+
+    [enter]/[exit] (or the bracketing {!Profiler.span}) maintain a stack
+    of open spans; {!Cost.charge} lands in the innermost one.  Spans
+    aggregate into a call tree rooted at ["machine"] — nodes are keyed by
+    name per parent, so repeated calls accumulate — and each completed
+    span is also kept individually for Chrome-trace export. *)
+module Profiler : sig
+  type node
+  (** A call-tree node: a span name in one calling context. *)
+
+  val node_name : node -> string
+
+  val node_calls : node -> int
+  (** Times a span of this name was entered in this context. *)
+
+  val node_self_cycles : node -> int
+  (** Cycles charged while this node was innermost. *)
+
+  val node_children : node -> node list
+  (** Name-sorted. *)
+
+  val node_total_cycles : node -> int
+  (** Self plus all descendants.  On {!root} this equals
+      {!Cost.total_cycles}. *)
+
+  val root : ctx -> node
+  (** The ["machine"] root.  Charges made with no open span land in its
+      self cycles. *)
+
+  val depth : ctx -> int
+  (** Currently open spans. *)
+
+  val enter : ?pid:int -> ctx -> string -> unit
+  (** Open a span as a child of the innermost open span (or the root).
+      [pid] (default [0]) is the simulated process id stamped on the
+      Chrome-trace event. *)
+
+  val exit : ctx -> unit
+  (** Close the innermost span (no-op on an empty stack). *)
+
+  val span : ?pid:int -> ctx -> string -> (unit -> 'a) -> 'a
+  (** [span ctx name f] brackets [f] with {!enter}/{!exit}; the span is
+      closed even if [f] raises.  Calls [f] directly when disabled. *)
+
+  val to_collapsed : ctx -> string
+  (** Collapsed-stack (flamegraph) text: one
+      ["machine;parent;child <self_cycles>"] line per node with nonzero
+      self cycles (leaves always emitted), sorted — feed to
+      [flamegraph.pl] or speedscope. *)
+
+  val to_chrome : ctx -> string
+  (** Chrome-trace JSON of every completed span as a [ph:"X"] complete
+      event on the simulated-cycle clock: [ts] = cycle count at enter,
+      [dur] = cycles spent inside, [pid] and [tid] = the simulated
+      process id (so spans nest under their process row), [args.depth] =
+      stack depth at enter. *)
 end

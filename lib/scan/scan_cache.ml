@@ -111,6 +111,7 @@ let refresh t =
       pfn := !run_end + 1
     end
   done;
+  Memguard_obs.Obs.Cost.charge (Kernel.obs t.kernel) ~sub:"scan" Scan_byte (!scanned * ps);
   t.last_scanned <- !scanned;
   t.total_scanned <- t.total_scanned + !scanned;
   t.scans <- t.scans + 1;

@@ -1,5 +1,6 @@
 open Memguard_kernel
 open Memguard_vmm
+module Obs = Memguard_obs.Obs
 module Bytes_util = Memguard_util.Bytes_util
 module Multi_search = Memguard_util.Multi_search
 module Rsa = Memguard_crypto.Rsa
@@ -38,6 +39,7 @@ let scan k ~patterns =
   let raw = Phys_mem.raw mem in
   let ps = Phys_mem.page_size mem in
   let labels, ms = compile_patterns ~who:"Scanner.scan" patterns in
+  Obs.Cost.charge (Kernel.obs k) ~sub:"scan" Scan_byte (Bytes.length raw);
   let acc = ref [] in
   (* one sweep reports every pattern's hits at once *)
   Multi_search.iter ms raw ~f:(fun ~pos ~pat ->
@@ -52,6 +54,8 @@ let scan_multipass k ~patterns =
   let mem = Kernel.mem k in
   let raw = Phys_mem.raw mem in
   let ps = Phys_mem.page_size mem in
+  Obs.Cost.charge (Kernel.obs k) ~sub:"scan" Scan_byte
+    (Bytes.length raw * List.length patterns);
   List.concat_map
     (fun (label, needle) ->
       if needle = "" then invalid_arg "Scanner.scan: empty pattern";
@@ -68,6 +72,7 @@ let scan_swap k ~patterns =
   | None -> []
   | Some sw ->
     let raw = Swap.raw sw in
+    Obs.Cost.charge (Kernel.obs k) ~sub:"scan" Scan_byte (Bytes.length raw);
     let labels, ms = compile_patterns ~who:"Scanner.scan_swap" patterns in
     let acc = ref [] in
     Multi_search.iter ms raw ~f:(fun ~pos ~pat -> acc := (labels.(pat), pos) :: !acc);
@@ -118,6 +123,7 @@ let scan_detailed k ~patterns ?(min_bytes = 20) () =
   (* one pass over the 4-byte anchors of every pattern, then extend each
      anchor hit against its own full needle *)
   let ms = Multi_search.compile (Array.map (fun n -> String.sub n 0 4) needles) in
+  Obs.Cost.charge (Kernel.obs k) ~sub:"scan" Scan_byte size;
   let acc = ref [] in
   Multi_search.iter ms raw ~f:(fun ~pos:addr ~pat ->
       let needle = needles.(pat) in

@@ -56,16 +56,26 @@ let mont_cache_size t = Hashtbl.length t.mont
 let private_op k proc t c =
   if Bn.sign c < 0 || Bn.compare c t.pub.Rsa.n >= 0 then
     invalid_arg "Sim_rsa.private_op: input out of range";
+  let obs = Kernel.obs k in
+  Obs.Profiler.span ~pid:proc.Proc.pid obs "rsa.private_op" @@ fun () ->
   if t.flag_cache_private then populate_mont_cache k proc t;
   let p = Sim_bn.value k proc t.p in
   let q = Sim_bn.value k proc t.q in
   let dp = Sim_bn.value k proc t.dp in
   let dq = Sim_bn.value k proc t.dq in
   let qinv = Sim_bn.value k proc t.qinv in
+  (* Price the modular exponentiations by the limb multiply-accumulates
+     the Mont kernels actually performed: read the host-side counter
+     around the CRT core and charge the delta.  This is the only place
+     BN arithmetic is priced — protocol-level DH/keygen math is constant
+     across protection levels and would only add noise. *)
+  let muls_before = Bn.Mont.word_muls () in
   let m1 = Bn.mod_pow ~base:c ~exp:dp ~modulus:p in
   let m2 = Bn.mod_pow ~base:c ~exp:dq ~modulus:q in
   let h = Bn.rem (Bn.mul qinv (Bn.sub m1 m2)) p in
   let result = Bn.add m2 (Bn.mul h q) in
+  Obs.Cost.charge obs ~sub:"bignum" Mont_word_mul (Bn.Mont.word_muls () - muls_before);
+  Obs.Metrics.incr obs "rsa.private_ops";
   (* BN_CTX temporaries: reduced intermediates (not key parts) that are
      freed WITHOUT zeroing — realistic allocator churn in the heap.  The
      Bn_temp origin marks them non-sensitive for the exposure SLO. *)

@@ -9,6 +9,7 @@ type mode = Vanilla | Hardened
 let write_key_file k ~path priv = Kernel.write_file k ~path (Rsa.pem_of_priv priv)
 
 let load_private_key k proc ~path ?(nocache = false) ?passphrase mode =
+  Obs.Profiler.span ~pid:proc.Proc.pid (Kernel.obs k) "ssl.key_load" @@ fun () ->
   (* read(2) the PEM file into a fresh heap buffer (and the page cache) *)
   let pem_buf, pem_len = Kernel.read_file k proc ~path ~nocache in
   Kernel.note_copy k proc ~origin:Obs.Pem_buffer ~addr:pem_buf ~len:pem_len;

@@ -136,6 +136,7 @@ let free t ~pfn ~order =
     (* the paper's kernel patch: clear_highpage before entering free lists *)
     if t.zero_on_free then begin
       Phys_mem.clear_frame t.mem i;
+      Obs.Cost.charge t.obs ~sub:"vmm" Byte_zeroed (Phys_mem.page_size t.mem);
       Obs.Metrics.incr ~by:(Phys_mem.page_size t.mem) t.obs "buddy.zero_on_free_bytes";
       Obs.Provenance.clear t.obs ~addr:(Phys_mem.addr_of_pfn t.mem i)
         ~len:(Phys_mem.page_size t.mem)

@@ -17,6 +17,7 @@ let () =
          Test_report_diff.suite;
          Test_obs.suite;
          Test_exposure.suite;
+         Test_cost.suite;
          Test_attack.suite;
          Test_apps.suite;
          Test_proto.suite;
