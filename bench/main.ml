@@ -20,6 +20,7 @@ module Bn = Memguard_bignum.Bn
 module Rsa = Memguard_crypto.Rsa
 module Prng = Memguard_util.Prng
 module Obs = Memguard_obs.Obs
+module Fleet = Memguard_fleet.Fleet
 
 let section title =
   Format.printf "@.=== %s ===@." title
@@ -181,6 +182,19 @@ let time_mean ?(reps = 3) f =
   done;
   (Unix.gettimeofday () -. t0) /. float_of_int reps
 
+(* minimum of [reps] timed runs: the robust estimator for short wall-clock
+   sections — GC pauses and scheduler preemption only ever add time, so
+   the min is the least-noisy sample of the true cost *)
+let time_min ?(reps = 5) f =
+  ignore (f ()) (* warm-up *);
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
 let scan_engine_bench () =
   section "Scan engine — seed multipass vs single pass vs incremental (4096 pages)";
   let num_pages = 4096 in
@@ -222,11 +236,11 @@ let scan_engine_bench () =
   (* exposure ledger rider: wall-time overhead of ledger-on vs obs-off
      timeline runs, plus the byte-tick verdict per protection level *)
   let t_ledger_off =
-    time_mean (fun () ->
+    time_min (fun () ->
         Experiment.timeline ~num_pages ~scan_mode:System.Incremental Experiment.Ssh)
   in
   let t_ledger_on =
-    time_mean (fun () ->
+    time_min (fun () ->
         let obs = Obs.create ~ring_capacity:(1 lsl 20) () in
         Experiment.timeline ~num_pages ~scan_mode:System.Incremental ~obs Experiment.Ssh)
   in
@@ -240,6 +254,32 @@ let scan_engine_bench () =
         in
         (Protection.name level, total, Dashboard.sensitive_unsafe_total d))
       Protection.all
+  in
+  (* fleet rider: aggregate scan+timeline throughput of a sharded fleet,
+     sequential vs parallel on 4 domains.  Connection/cycle counts are
+     deterministic; the seconds and the speedup are wall-clock (warn-only
+     in the perf gate — on a 1-core host the speedup is honestly ~1x). *)
+  let fleet_cfg =
+    { Fleet.default with
+      Fleet.shards = 8;
+      domains = 1;
+      num_pages = 1024;
+      conns_low = 8;
+      conns_high = 16
+    }
+  in
+  let fleet_report = ref None in
+  let t_fleet_1 = time_once (fun () -> fleet_report := Some (Fleet.run fleet_cfg)) in
+  let t_fleet_4 =
+    time_once (fun () -> ignore (Fleet.run { fleet_cfg with Fleet.domains = 4 }))
+  in
+  let fleet = Option.get !fleet_report in
+  let fleet_speedup = t_fleet_1 /. t_fleet_4 in
+  (* throughput at whichever domain count this host runs faster — a 1-core
+     host loses on 4 domains, a 4-core host wins; either way the number is
+     what an operator picking the right --domains would see *)
+  let fleet_conns_per_sec =
+    float_of_int fleet.Fleet.total_connections /. Float.min t_fleet_1 t_fleet_4
   in
   Format.printf "%-44s %12.6f s@." "full scan, seed (one pass per pattern)" t_multipass;
   Format.printf "%-44s %12.6f s  (%.2fx)@." "full scan, single-pass multi-pattern" t_single
@@ -258,6 +298,12 @@ let scan_engine_bench () =
         (p samples 50.) (p samples 90.) (p samples 100.))
     [ ("multipass", wall_seed); ("full", wall_full); ("incremental", wall_incr) ];
   Format.printf "%-44s %11.1f%%@." "exposure ledger overhead (timeline)" ledger_overhead_pct;
+  Format.printf "%-44s %12d conns (%d shards)@." "fleet connections (8-shard timeline)"
+    fleet.Fleet.total_connections fleet_cfg.Fleet.shards;
+  Format.printf "%-44s %12.6f s / %.6f s  (%.2fx at 4 domains)@."
+    "fleet wall time, 1 domain / 4 domains" t_fleet_1 t_fleet_4 fleet_speedup;
+  Format.printf "%-44s %12.0f conns/s@." "fleet connection throughput (best domains)"
+    fleet_conns_per_sec;
   List.iter
     (fun (name, total, unsafe) ->
       Format.printf "%-44s %12d byte-ticks (%d sensitive outside mlock)@."
@@ -287,14 +333,27 @@ let scan_engine_bench () =
       \  \"timeline_scan_wall_p50_incremental_s\": %.6f,\n\
       \  \"timeline_scan_wall_p90_incremental_s\": %.6f,\n\
       \  \"timeline_scan_wall_max_incremental_s\": %.6f,\n\
-      \  \"exposure_ledger_overhead_pct\": %.2f%s\n\
+      \  \"exposure_ledger_overhead_pct\": %.2f,\n\
+      \  \"fleet_shards\": %d,\n\
+      \  \"fleet_connections\": %d,\n\
+      \  \"fleet_requests\": %d,\n\
+      \  \"fleet_total_cycles\": %d,\n\
+      \  \"fleet_sensitive_unsafe_byte_ticks\": %d,\n\
+      \  \"fleet_domains_recommended\": %d,\n\
+      \  \"fleet_timeline_domains_1_s\": %.6f,\n\
+      \  \"fleet_timeline_domains_4_s\": %.6f,\n\
+      \  \"fleet_speedup_domains_4\": %.2f,\n\
+      \  \"fleet_connections_per_sec\": %.0f%s\n\
        }\n"
       num_pages (List.length patterns) t_multipass t_single t_incr_idle t_timeline_seed
       t_timeline_full t_timeline_incr speedup_single speedup_timeline hit_rate dirty_ratio
       (p wall_seed 50.) (p wall_seed 90.) (p wall_seed 100.)
       (p wall_full 50.) (p wall_full 90.) (p wall_full 100.)
       (p wall_incr 50.) (p wall_incr 90.) (p wall_incr 100.)
-      ledger_overhead_pct
+      ledger_overhead_pct fleet_cfg.Fleet.shards fleet.Fleet.total_connections
+      fleet.Fleet.total_requests fleet.Fleet.total_cycles fleet.Fleet.sensitive_unsafe
+      (Domain.recommended_domain_count ()) t_fleet_1 t_fleet_4 fleet_speedup
+      fleet_conns_per_sec
       (String.concat ""
          (List.map
             (fun (name, total, unsafe) ->
@@ -349,16 +408,37 @@ let chaos_bench () =
 let gate_metrics () =
   let rows = Overhead.run ~num_pages:1024 () in
   let slug level = String.map (function '-' -> '_' | c -> c) (Protection.name level) in
-  List.concat_map
-    (fun (r : Overhead.row) ->
-      (Printf.sprintf "overhead_cycles_%s" (slug r.Overhead.level), r.Overhead.cycles)
-      ::
-      (* per-subsystem rows pinpoint *which* mechanism regressed *)
-      List.map
-        (fun (sub, c) ->
-          (Printf.sprintf "overhead_cycles_%s_%s" (slug r.Overhead.level) sub, c))
-        r.Overhead.by_subsystem)
-    rows
+  let overhead =
+    List.concat_map
+      (fun (r : Overhead.row) ->
+        (Printf.sprintf "overhead_cycles_%s" (slug r.Overhead.level), r.Overhead.cycles)
+        ::
+        (* per-subsystem rows pinpoint *which* mechanism regressed *)
+        List.map
+          (fun (sub, c) ->
+            (Printf.sprintf "overhead_cycles_%s_%s" (slug r.Overhead.level) sub, c))
+          r.Overhead.by_subsystem)
+      rows
+  in
+  (* a small sequential fleet: its merged counts are exact, so the gate
+     also catches regressions in the sharded path (lost connections,
+     cycle drift, exposure leaks across the merge) *)
+  let fleet =
+    Fleet.run
+      { Fleet.default with
+        Fleet.shards = 4;
+        domains = 1;
+        num_pages = 1024;
+        conns_low = 8;
+        conns_high = 16
+      }
+  in
+  overhead
+  @ [ ("fleet_gate_connections", fleet.Fleet.total_connections);
+      ("fleet_gate_requests", fleet.Fleet.total_requests);
+      ("fleet_gate_cycles", fleet.Fleet.total_cycles);
+      ("fleet_gate_sensitive_unsafe", fleet.Fleet.sensitive_unsafe)
+    ]
 
 let metrics_to_json metrics =
   Printf.sprintf "{\n%s\n}\n"
@@ -378,12 +458,15 @@ let parse_flat_json s =
       while !k < n && (s.[!k] = ':' || s.[!k] = ' ' || s.[!k] = '\n') do incr k done;
       let start = !k in
       while
-        !k < n && (match s.[!k] with '0' .. '9' | '-' -> true | _ -> false)
+        !k < n
+        && (match s.[!k] with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false)
       do
         incr k
       done;
       if !k > start then
-        metrics := (key, int_of_string (String.sub s start (!k - start))) :: !metrics;
+        metrics := (key, float_of_string (String.sub s start (!k - start))) :: !metrics;
       i := !k
     end
     else incr i
@@ -397,6 +480,20 @@ let write_baseline path =
   close_out oc;
   Format.printf "wrote %s (%d metrics)@." path (List.length metrics)
 
+(* Wall-clock metrics (seconds, throughput, percentages, speedups) drift
+   with CI machine load; only the deterministic cycle/count metrics gate
+   hard.  Wall-clock drift beyond tolerance is reported as a warning so a
+   loaded runner cannot fail the build spuriously. *)
+let wallclock_metric key =
+  let contains sub =
+    let n = String.length key and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub key i m = sub || go (i + 1)) in
+    m > 0 && go 0
+  in
+  Filename.check_suffix key "_s"
+  || contains "per_sec" || contains "_pct" || contains "speedup" || contains "rate"
+  || contains "ratio" || contains "wall"
+
 let check_baseline path ~tolerance =
   section
     (Printf.sprintf "perf gate — simulated cycles vs %s (tolerance %d%%)" path tolerance);
@@ -406,33 +503,49 @@ let check_baseline path ~tolerance =
     close_in ic;
     parse_flat_json s
   in
-  let current = gate_metrics () in
+  let current = List.map (fun (k, v) -> (k, float_of_int v)) (gate_metrics ()) in
   let failed = ref 0 in
+  let warned = ref 0 in
+  let tol = float_of_int tolerance /. 100. in
   Format.printf "%-42s %14s %14s %9s@." "metric" "baseline" "current" "delta";
   List.iter
     (fun (key, cur) ->
       match List.assoc_opt key baseline with
-      | None -> Format.printf "%-42s %14s %14d %9s  new metric@." key "-" cur "-"
+      | None -> Format.printf "%-42s %14s %14.0f %9s  new metric@." key "-" cur "-"
       | Some base ->
-        let delta = 100. *. (float_of_int (cur - base) /. float_of_int (max 1 base)) in
+        let delta = 100. *. ((cur -. base) /. Float.max 1.0 (Float.abs base)) in
+        let over = cur > base +. (Float.abs base *. tol) in
+        let under = base > cur +. (Float.abs cur *. tol) in
         let verdict =
-          if cur > base + (base * tolerance / 100) then begin
+          if over && wallclock_metric key then begin
+            incr warned;
+            "slower (wall-clock: warning only)"
+          end
+          else if over then begin
             incr failed;
             "REGRESSION"
           end
-          else if base > cur + (cur * tolerance / 100) then
+          else if under && not (wallclock_metric key) then
             "improved — consider refreshing the baseline"
           else "ok"
         in
-        Format.printf "%-42s %14d %14d %+8.1f%%  %s@." key base cur delta verdict)
+        Format.printf "%-42s %14.0f %14.0f %+8.1f%%  %s@." key base cur delta verdict)
     current;
   List.iter
     (fun (key, _) ->
-      if not (List.mem_assoc key current) then begin
-        incr failed;
-        Format.printf "%-42s vanished from the current run: REGRESSION@." key
-      end)
+      if not (List.mem_assoc key current) then
+        if wallclock_metric key then begin
+          incr warned;
+          Format.printf "%-42s not produced by the gate (wall-clock): warning@." key
+        end
+        else begin
+          incr failed;
+          Format.printf "%-42s vanished from the current run: REGRESSION@." key
+        end)
     baseline;
+  if !warned > 0 then
+    Format.printf "@.%d wall-clock metric(s) drifted beyond %d%% (not gated)@." !warned
+      tolerance;
   if !failed > 0 then begin
     Format.printf "@.perf gate FAILED: %d metric(s) regressed beyond %d%%@." !failed
       tolerance;

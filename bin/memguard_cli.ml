@@ -544,6 +544,125 @@ let inspect_cmd =
     Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ scan_mode_arg
           $ tick $ breach_age)
 
+let fleet_cmd =
+  let module Fleet = Memguard_fleet.Fleet in
+  let run level mix shards domains pages master_seed conns churn scan_mode breach_age
+      json html print_fingerprint inspect_shard tick =
+    let cfg =
+      { Fleet.shards;
+        domains;
+        level;
+        mix;
+        num_pages = pages;
+        master_seed;
+        conns_low = conns;
+        conns_high = 2 * conns;
+        churn;
+        scan_mode;
+        breach_age
+      }
+    in
+    match inspect_shard with
+    | Some shard ->
+      Format.printf "# fleet inspect: shard=%d tick=%d@." shard tick;
+      print_string (Fleet.inspect_shard cfg ~shard ~tick)
+    | None ->
+      let report = Fleet.run cfg in
+      if print_fingerprint then print_endline (Fleet.fingerprint report)
+      else Format.printf "%a" Fleet.pp_summary report;
+      (match json with
+       | Some path ->
+         write_file path (Fleet.to_json report);
+         Format.printf "wrote %s@." path
+       | None -> ());
+      match html with
+      | Some path ->
+        write_file path (Fleet.to_html report);
+        Format.printf "wrote %s@." path
+      | None -> ()
+  in
+  let mix_conv =
+    let parse = function
+      | "ssh" -> Ok Fleet.Ssh_only
+      | "http" -> Ok Fleet.Http_only
+      | "mixed" -> Ok Fleet.Mixed
+      | s -> Error (`Msg (Printf.sprintf "unknown mix %S (ssh, http or mixed)" s))
+    in
+    Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Fleet.mix_name m))
+  in
+  let mix =
+    Arg.(value & opt mix_conv Fleet.Mixed
+         & info [ "mix" ] ~docv:"MIX"
+             ~doc:"Workload mix: ssh, http, or mixed (even shards sshd, odd apache).")
+  in
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"N" ~doc:"Number of independent simulated machines.")
+  in
+  let domains =
+    Arg.(value & opt int (Domain.recommended_domain_count ())
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Worker domains (default: recommended for this host; 1 = sequential). \
+                   The merged report is byte-identical for every value.")
+  in
+  let master_seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Master seed; shard $(i,i) derives its own stream with tag $(i,i).")
+  in
+  let conns =
+    Arg.(value & opt int 16
+         & info [ "conns-per-shard" ] ~docv:"K"
+             ~doc:"Low-plateau concurrency per shard (peak is 2K); with the default churn \
+                   each shard opens roughly 48K connections over the timeline.")
+  in
+  let churn =
+    Arg.(value & opt int 3
+         & info [ "churn" ] ~docv:"N" ~doc:"Reconnect cycles per slot per tick.")
+  in
+  let breach_age =
+    Arg.(value & opt (some int) None
+         & info [ "breach-age" ] ~docv:"TICKS"
+             ~doc:"Arm the exposure SLO on every shard (see observe).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the canonical merged report (the fingerprinted bytes) to $(docv).")
+  in
+  let html =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE"
+             ~doc:"Write the merged fleet dashboard (self-contained HTML) to $(docv).")
+  in
+  let print_fingerprint =
+    Arg.(value & flag
+         & info [ "fingerprint" ]
+             ~doc:"Print only the report's MD5 fingerprint on its own line (for the \
+                   determinism guard: compare across --domains values).")
+  in
+  let inspect_shard =
+    Arg.(value & opt (some int) None
+         & info [ "inspect-shard" ] ~docv:"I"
+             ~doc:"Instead of the fleet report, re-run shard $(docv) sequentially up to \
+                   --tick and print its /proc-style introspection dump.")
+  in
+  let tick =
+    Arg.(value & opt int 11
+         & info [ "t"; "tick" ] ~docv:"TICK"
+             ~doc:"Tick at which --inspect-shard freezes the shard (clamped to 29).")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Fleet-scale simulation: run N independent machines (each with its own kernel, \
+          RAM, key, PRNG stream and exposure ledger) in parallel on OCaml 5 domains and \
+          deterministically merge their ledgers, snapshots and cycle counts into one \
+          aggregate report")
+    Term.(const run $ level_arg $ mix $ shards $ domains $ pages_arg 2048 $ master_seed
+          $ conns $ churn $ scan_mode_arg $ breach_age $ json $ html $ print_fingerprint
+          $ inspect_shard $ tick)
+
 let main =
   Cmd.group
     (Cmd.info "memguard" ~version:"1.0.0"
@@ -551,6 +670,6 @@ let main =
          "Reproduction of Harrison & Xu, 'Protecting Cryptographic Keys from Memory \
           Disclosure Attacks' (DSN'07)")
     [ timeline_cmd; ext2_cmd; tty_cmd; before_after_cmd; perf_cmd; ablations_cmd; dat_cmd;
-      levels_cmd; chaos_cmd; observe_cmd; overhead_cmd; inspect_cmd ]
+      levels_cmd; chaos_cmd; observe_cmd; overhead_cmd; inspect_cmd; fleet_cmd ]
 
 let () = Stdlib.exit (Cmd.eval main)

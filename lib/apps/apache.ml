@@ -80,6 +80,7 @@ let open_connection t rng =
     w.busy <- true;
     Obs.Profiler.span ~pid:w.proc.Proc.pid (Kernel.obs t.kernel) "apache.connection"
     @@ fun () ->
+    Obs.Metrics.incr (Kernel.obs t.kernel) "apache.connections";
     Obs.Metrics.incr (Kernel.obs t.kernel) "apache.requests";
     (* mod_ssl handshake in the worker: this is where the Montgomery cache
        (fresh copies of p and q) lands in the worker's heap *)

@@ -365,10 +365,14 @@ module Mont = struct
   (* Running count of limb multiply-accumulates performed by the Mont
      kernels.  Host-side bookkeeping only (never part of simulated
      state); callers that price modular arithmetic read it before and
-     after an operation and charge the delta (see Sim_rsa). *)
-  let word_muls_ = ref 0
+     after an operation and charge the delta (see Sim_rsa).  Domain-local:
+     the fleet simulator runs one shard per domain, and a shared counter
+     would let concurrent shards contaminate each other's deltas. *)
+  let word_muls_key = Domain.DLS.new_key (fun () -> ref 0)
 
-  let word_muls () = !word_muls_
+  let word_muls_ () = Domain.DLS.get word_muls_key
+
+  let word_muls () = !(word_muls_ ())
 
   let modulus ctx = ctx.m
 
@@ -393,7 +397,8 @@ module Mont = struct
   (* REDC(T) = T * R^-1 mod m, for 0 <= T < m*R *)
   let redc ctx t_in =
     let k = ctx.k in
-    word_muls_ := !word_muls_ + (k * (k + 1));
+    let wc = word_muls_ () in
+    wc := !wc + (k * (k + 1));
     let mm = ctx.m.mag in
     (* working copy, k extra limbs plus one for carries *)
     let w = Array.make ((2 * k) + 1) 0 in
@@ -437,7 +442,8 @@ module Mont = struct
   (* dst <- a*b*R^-1 mod m.  [t] is scratch of length k+2; aliasing dst
      with a or b is fine (dst is written only after a and b are read). *)
   let mont_mul_raw ~k ~mm ~n0' ~t a b dst =
-    word_muls_ := !word_muls_ + (2 * k * k);
+    let wc = word_muls_ () in
+    wc := !wc + (2 * k * k);
     Array.fill t 0 (k + 2) 0;
     for i = 0 to k - 1 do
       let ai = Array.unsafe_get a i in
@@ -496,7 +502,8 @@ module Mont = struct
      than [mont_mul_raw] with both operands equal.  Aliasing dst with a is
      fine. *)
   let mont_sqr_raw ~k ~mm ~n0' ~t2 a dst =
-    word_muls_ := !word_muls_ + ((k * (k - 1) / 2) + k + (k * k));
+    let wc = word_muls_ () in
+    wc := !wc + ((k * (k - 1) / 2) + k + (k * k));
     Array.fill t2 0 ((2 * k) + 1) 0;
     (* off-diagonal products, each counted once *)
     for i = 0 to k - 2 do
@@ -630,11 +637,16 @@ end
 
 (* Montgomery contexts are costly to build (R^2 mod m needs a wide
    division) while callers exponentiate against a handful of long-lived
-   moduli (the DH prime, RSA n/p/q), so keep a tiny move-to-front cache. *)
-let mont_cache : (t * Mont.ctx option) list ref = ref []
+   moduli (the DH prime, RSA n/p/q), so keep a tiny move-to-front cache.
+   Domain-local, like the word-mul counter: fleet shards running on
+   parallel domains must not share or race on it. *)
+let mont_cache_key : (t * Mont.ctx option) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
 let mont_cache_max = 8
 
 let mont_ctx modulus =
+  let mont_cache = Domain.DLS.get mont_cache_key in
   match List.assoc_opt modulus !mont_cache with
   | Some ctx ->
     if not (equal (fst (List.hd !mont_cache)) modulus) then

@@ -105,10 +105,11 @@ let tty_sweep ?(level = Protection.Unprotected) ?(trials = 5) ?(num_pages = 4096
       })
     connections
 
-let timeline ?(level = Protection.Unprotected) ?(num_pages = 8192) ?(seed = 1) ?key_bits
-    ?(churn = 3) ?(scan_mode = System.Incremental) ?obs server =
-  let sys = System.create ?key_bits ~num_pages ~level ~seed ~scan_mode ?obs () in
-  Timeline.run ~churn sys (match server with Ssh -> Timeline.Ssh | Http -> Timeline.Http)
+let timeline ?(level = Protection.Unprotected) ?(num_pages = 8192) ?(seed = 1) ?rng
+    ?key_bits ?(churn = 3) ?low ?high ?(scan_mode = System.Incremental) ?obs server =
+  let sys = System.create ?key_bits ~num_pages ~level ~seed ?rng ~scan_mode ?obs () in
+  Timeline.run ~churn ?low ?high sys
+    (match server with Ssh -> Timeline.Ssh | Http -> Timeline.Http)
 
 let before_after_tty ?(trials = 10) ?(num_pages = 4096) ?(seed = 1)
     ?(connections = [ 0; 20; 60; 120 ]) server =

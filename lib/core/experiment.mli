@@ -50,14 +50,20 @@ val timeline :
   ?level:Protection.level ->
   ?num_pages:int ->
   ?seed:int ->
+  ?rng:Memguard_util.Prng.t ->
   ?key_bits:int ->
   ?churn:int ->
+  ?low:int ->
+  ?high:int ->
   ?scan_mode:System.scan_mode ->
   ?obs:Memguard_obs.Obs.ctx ->
   server ->
   Memguard_scan.Report.snapshot list
 (** Figures 5/6 (unprotected) and 9–16 / 21–28 (one protection level each):
-    the scripted t=0..29 run, one snapshot per tick.  [scan_mode]
+    the scripted t=0..29 run, one snapshot per tick.  [rng] overrides
+    [seed] (see {!System.create}); [low]/[high] override the schedule's
+    connection targets — the fleet scales them to reach production-size
+    connection counts per shard.  [scan_mode]
     (default [Incremental]) uses the dirty-page scan cache for the
     per-tick snapshots; [Full] forces a cold single-pass re-scan at every
     tick and [Multipass] the seed behaviour of one cold pass per pattern

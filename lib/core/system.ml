@@ -53,10 +53,10 @@ let boot_noise kernel rng =
     Memguard_vmm.Buddy.free_page buddy frames.(i)
   done
 
-let create ?(num_pages = 8192) ?(key_bits = 256) ?(seed = 1) ?(noise = true)
+let create ?(num_pages = 8192) ?(key_bits = 256) ?(seed = 1) ?rng ?(noise = true)
     ?(scan_mode = Incremental) ?(obs = Obs.null) ?(swap_slots = 0) ?(swap_encrypt = false)
     ~level () =
-  let rng_ = Prng.of_int seed in
+  let rng_ = match rng with Some r -> r | None -> Prng.of_int seed in
   let config =
     { Kernel.default_config with
       num_pages;

@@ -24,6 +24,7 @@ val create :
   ?num_pages:int ->
   ?key_bits:int ->
   ?seed:int ->
+  ?rng:Memguard_util.Prng.t ->
   ?noise:bool ->
   ?scan_mode:scan_mode ->
   ?obs:Memguard_obs.Obs.ctx ->
@@ -39,7 +40,10 @@ val create :
     runs boot-time allocator churn so that later allocations scatter over
     the whole physical range, as on a live machine.  [scan_mode] (default
     [Incremental]) selects how {!scan} sweeps memory; all three modes
-    return identical results.  [obs] (default {!Memguard_obs.Obs.null})
+    return identical results.  [rng] overrides [seed] with an
+    already-constructed generator — the fleet derives one per shard from a
+    master seed ([Prng.derive]) so every shard sees an independent,
+    reproducible stream.  [obs] (default {!Memguard_obs.Obs.null})
     is threaded through every layer — kernel, allocator, page cache, SSL
     library, scanner — collecting the key-copy lifecycle trace, subsystem
     metrics, and per-hit provenance; with the default disabled context the

@@ -1,0 +1,406 @@
+module Obs = Memguard_obs.Obs
+module Report = Memguard_scan.Report
+module Prng = Memguard_util.Prng
+module Introspect = Memguard_kernel.Introspect
+open Memguard
+
+type mix = Ssh_only | Http_only | Mixed
+
+type config = {
+  shards : int;
+  domains : int;
+  level : Protection.level;
+  mix : mix;
+  num_pages : int;
+  master_seed : int;
+  conns_low : int;
+  conns_high : int;
+  churn : int;
+  scan_mode : System.scan_mode;
+  breach_age : int option;
+}
+
+let default =
+  { shards = 4;
+    domains = Domain.recommended_domain_count ();
+    level = Protection.Unprotected;
+    mix = Mixed;
+    num_pages = 2048;
+    master_seed = 1;
+    conns_low = 16;
+    conns_high = 32;
+    churn = 3;
+    scan_mode = System.Incremental;
+    breach_age = None
+  }
+
+type event = {
+  tick : int;
+  shard_id : int;
+  seq : int;
+  label : string;
+  value : int;
+}
+
+type shard_result = {
+  shard_id : int;
+  server : Timeline.server;
+  snapshots : Report.snapshot list;
+  totals : ((Obs.origin * Obs.mem_class) * int) list;
+  series : (int * ((Obs.origin * Obs.mem_class) * int) list) list;
+  lifetimes : (Obs.origin * int list) list;
+  breaches : Dashboard.breach list;
+  counters : (string * int) list;
+  cycles : int;
+  cycles_by_subsystem : (string * int) list;
+  events : event list;
+  connections : int;
+  requests : int;
+}
+
+type report = {
+  config : config;
+  shard_results : shard_result list;
+  merged_events : event list;
+  total_connections : int;
+  total_requests : int;
+  total_cycles : int;
+  sensitive_unsafe : int;
+}
+
+let mix_name = function Ssh_only -> "ssh" | Http_only -> "http" | Mixed -> "mixed"
+
+let server_of cfg shard_id =
+  match cfg.mix with
+  | Ssh_only -> Timeline.Ssh
+  | Http_only -> Timeline.Http
+  | Mixed -> if shard_id land 1 = 0 then Timeline.Ssh else Timeline.Http
+
+let derive_rng cfg shard_id = Prng.derive (Prng.of_int cfg.master_seed) ~tag:shard_id
+
+(* ---- one shard ---- *)
+
+let run_shard cfg shard_id =
+  let obs = Obs.create () in
+  (match cfg.breach_age with
+   | Some age -> Obs.Exposure.set_breach_age obs (Some age)
+   | None -> ());
+  let rng = derive_rng cfg shard_id in
+  let sys =
+    System.create ~num_pages:cfg.num_pages ~level:cfg.level ~rng
+      ~scan_mode:cfg.scan_mode ~obs ()
+  in
+  let server = server_of cfg shard_id in
+  let snapshots =
+    Timeline.run ~churn:cfg.churn ~low:cfg.conns_low ~high:cfg.conns_high sys server
+  in
+  let counters = Obs.Metrics.counters obs in
+  let counter name = try List.assoc name counters with Not_found -> 0 in
+  let breaches =
+    List.filter_map
+      (fun (r : Obs.record) ->
+        match r.Obs.event with
+        | Obs.Exposure_breach { origin; cls; pid; addr; len; age } ->
+          Some { Dashboard.tick = r.Obs.tick; origin; cls; pid; addr; len; age }
+        | _ -> None)
+      (Obs.Trace.records obs)
+  in
+  let events =
+    List.filter_map
+      (fun (r : Obs.record) ->
+        match r.Obs.event with
+        | Obs.Scan_finished { hits; _ } ->
+          Some { tick = r.Obs.tick; shard_id; seq = r.Obs.seq; label = "scan.hits"; value = hits }
+        | Obs.Exposure_breach { len; _ } ->
+          Some { tick = r.Obs.tick; shard_id; seq = r.Obs.seq; label = "breach.len"; value = len }
+        | _ -> None)
+      (Obs.Trace.records obs)
+  in
+  { shard_id;
+    server;
+    snapshots;
+    totals = Obs.Exposure.totals obs;
+    series = Obs.Exposure.series obs;
+    lifetimes = List.map (fun o -> (o, Obs.Exposure.lifetimes obs o)) Obs.all_origins;
+    breaches;
+    counters;
+    cycles = Obs.Cost.total_cycles obs;
+    cycles_by_subsystem = Obs.Cost.by_subsystem obs;
+    events;
+    connections = counter "sshd.connections" + counter "apache.connections";
+    requests = counter "sshd.requests" + counter "apache.requests"
+  }
+
+(* ---- merge helpers: shard order is the merge order, so every fold below
+   is deterministic regardless of which domain ran which shard ---- *)
+
+let merge_assoc lists =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (List.iter (fun (k, v) ->
+         match Hashtbl.find_opt tbl k with
+         | Some r -> r := !r + v
+         | None -> Hashtbl.replace tbl k (ref v)))
+    lists;
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
+
+let merge_series shards =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (t, totals) ->
+          let cur = match Hashtbl.find_opt tbl t with Some l -> l | None -> [] in
+          Hashtbl.replace tbl t (totals :: cur))
+        s.series)
+    shards;
+  Hashtbl.fold (fun t ls acc -> (t, merge_assoc ls) :: acc) tbl []
+  |> List.sort compare
+
+let merge_snapshots shards =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (sn : Report.snapshot) ->
+          let tot, al, un =
+            match Hashtbl.find_opt tbl sn.Report.time with
+            | Some (a, b, c) -> (a, b, c)
+            | None -> (0, 0, 0)
+          in
+          Hashtbl.replace tbl sn.Report.time
+            (tot + sn.Report.total, al + sn.Report.allocated, un + sn.Report.unallocated))
+        s.snapshots)
+    shards;
+  Hashtbl.fold
+    (fun time (total, allocated, unallocated) acc ->
+      { Report.time; total; allocated; unallocated; hits = []; annotated = [] } :: acc)
+    tbl []
+  |> List.sort (fun (a : Report.snapshot) b -> compare a.Report.time b.Report.time)
+
+let merge_lifetimes shards =
+  List.map
+    (fun o ->
+      ( o,
+        List.concat_map
+          (fun s -> try List.assoc o s.lifetimes with Not_found -> [])
+          shards ))
+    Obs.all_origins
+
+let sensitive_unsafe_of totals =
+  List.fold_left
+    (fun acc ((o, c), v) ->
+      if Obs.origin_sensitive o && c <> Obs.Mlocked_anon then acc + v else acc)
+    0 totals
+
+(* ---- parallel execution ---- *)
+
+let run cfg =
+  let n = max 1 cfg.shards in
+  let workers = max 1 (min cfg.domains n) in
+  let results = Array.make n None in
+  if workers <= 1 then
+    for i = 0 to n - 1 do
+      results.(i) <- Some (run_shard cfg i)
+    done
+  else begin
+    (* work-stealing over shard ids: assignment of shard to domain is
+       scheduling-dependent, but each cell is written exactly once with a
+       value that depends only on (cfg, i), so the merged result is not *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (run_shard cfg i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init workers (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains
+  end;
+  let shard_results =
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+  in
+  let merged_events =
+    List.concat_map (fun s -> s.events) shard_results
+    |> List.sort (fun a b -> compare (a.tick, a.shard_id, a.seq) (b.tick, b.shard_id, b.seq))
+  in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 shard_results in
+  { config = cfg;
+    shard_results;
+    merged_events;
+    total_connections = sum (fun s -> s.connections);
+    total_requests = sum (fun s -> s.requests);
+    total_cycles = sum (fun s -> s.cycles);
+    sensitive_unsafe =
+      sensitive_unsafe_of (merge_assoc (List.map (fun s -> s.totals) shard_results))
+  }
+
+(* ---- dashboard projection ---- *)
+
+let dashboard r =
+  let shards = r.shard_results in
+  { Dashboard.level = r.config.level;
+    server =
+      (match r.config.mix with Http_only -> Timeline.Http | _ -> Timeline.Ssh);
+    scan_mode = r.config.scan_mode;
+    seed = r.config.master_seed;
+    num_pages = r.config.num_pages * r.config.shards;
+    breach_age = r.config.breach_age;
+    snapshots = merge_snapshots shards;
+    series = merge_series shards;
+    totals = merge_assoc (List.map (fun s -> s.totals) shards);
+    lifetimes = merge_lifetimes shards;
+    breaches =
+      List.concat_map (fun s -> s.breaches) shards
+      |> List.sort (fun (a : Dashboard.breach) b ->
+             compare (a.Dashboard.tick, a.Dashboard.pid, a.Dashboard.addr)
+               (b.Dashboard.tick, b.Dashboard.pid, b.Dashboard.addr));
+    counters = merge_assoc (List.map (fun s -> s.counters) shards);
+    cycles = r.total_cycles;
+    cycles_by_subsystem = merge_assoc (List.map (fun s -> s.cycles_by_subsystem) shards)
+  }
+
+let inspect_shard cfg ~shard ~tick =
+  if shard < 0 || shard >= cfg.shards then invalid_arg "Fleet.inspect_shard: bad shard id";
+  let obs = Obs.create () in
+  let rng = derive_rng cfg shard in
+  let sys =
+    System.create ~num_pages:cfg.num_pages ~level:cfg.level ~rng
+      ~scan_mode:cfg.scan_mode ~obs ()
+  in
+  ignore
+    (Timeline.run ~churn:cfg.churn ~low:cfg.conns_low ~high:cfg.conns_high
+       ~stop_at:tick sys (server_of cfg shard));
+  Introspect.render (System.kernel sys)
+
+(* ---- rendering ---- *)
+
+let server_name = function Timeline.Ssh -> "ssh" | Timeline.Http -> "http"
+
+(* Canonical JSON: sorted lists, integers only, and no [domains] field —
+   how many domains executed the fleet is a property of the run, not of
+   the simulated result, and the fingerprint must not see it. *)
+let to_json r =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add
+    (Printf.sprintf
+       "  \"config\": {\"shards\": %d, \"level\": \"%s\", \"mix\": \"%s\", \
+        \"num_pages\": %d, \"master_seed\": %d, \"conns_low\": %d, \
+        \"conns_high\": %d, \"churn\": %d, \"scan_mode\": \"%s\"},\n"
+       r.config.shards
+       (Protection.name r.config.level)
+       (mix_name r.config.mix) r.config.num_pages r.config.master_seed
+       r.config.conns_low r.config.conns_high r.config.churn
+       (System.mode_name r.config.scan_mode));
+  add (Printf.sprintf "  \"total_connections\": %d,\n" r.total_connections);
+  add (Printf.sprintf "  \"total_requests\": %d,\n" r.total_requests);
+  add (Printf.sprintf "  \"total_cycles\": %d,\n" r.total_cycles);
+  add (Printf.sprintf "  \"sensitive_unsafe\": %d,\n" r.sensitive_unsafe);
+  add "  \"shards\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then add ",\n";
+      add
+        (Printf.sprintf
+           "    {\"shard_id\": %d, \"server\": \"%s\", \"connections\": %d, \
+            \"requests\": %d, \"cycles\": %d, \"sensitive_unsafe\": %d, \
+            \"final_copies\": %d, \"breaches\": %d}"
+           s.shard_id (server_name s.server) s.connections s.requests s.cycles
+           (sensitive_unsafe_of s.totals)
+           (match List.rev s.snapshots with
+            | last :: _ -> last.Report.total
+            | [] -> 0)
+           (List.length s.breaches)))
+    r.shard_results;
+  add "\n  ],\n";
+  add "  \"merged_totals\": [\n";
+  let totals = merge_assoc (List.map (fun s -> s.totals) r.shard_results) in
+  List.iteri
+    (fun i ((o, c), v) ->
+      if i > 0 then add ",\n";
+      add
+        (Printf.sprintf "    {\"origin\": \"%s\", \"class\": \"%s\", \"byte_ticks\": %d}"
+           (Obs.origin_name o) (Obs.class_name c) v))
+    totals;
+  add "\n  ],\n";
+  add "  \"merged_counters\": [\n";
+  let counters = merge_assoc (List.map (fun s -> s.counters) r.shard_results) in
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then add ",\n";
+      add (Printf.sprintf "    {\"name\": \"%s\", \"value\": %d}" k v))
+    counters;
+  add "\n  ],\n";
+  add "  \"copies_by_tick\": [\n";
+  List.iteri
+    (fun i (sn : Report.snapshot) ->
+      if i > 0 then add ",\n";
+      add
+        (Printf.sprintf
+           "    {\"tick\": %d, \"total\": %d, \"allocated\": %d, \"unallocated\": %d}"
+           sn.Report.time sn.Report.total sn.Report.allocated sn.Report.unallocated))
+    (merge_snapshots r.shard_results);
+  add "\n  ],\n";
+  add "  \"events\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then add ",\n";
+      add
+        (Printf.sprintf
+           "    {\"tick\": %d, \"shard\": %d, \"seq\": %d, \"label\": \"%s\", \
+            \"value\": %d}"
+           e.tick e.shard_id e.seq e.label e.value))
+    r.merged_events;
+  add "\n  ]\n}\n";
+  Buffer.contents buf
+
+let fingerprint r = Digest.to_hex (Digest.string (to_json r))
+
+let to_html r =
+  let banner = Buffer.create 1024 in
+  let add = Buffer.add_string banner in
+  add "<h2>fleet</h2>\n<table class=\"meta\"><tr><th>shard</th><th>server</th>";
+  add "<th>connections</th><th>requests</th><th>cycles</th><th>unsafe byte&middot;ticks</th></tr>\n";
+  List.iter
+    (fun s ->
+      add
+        (Printf.sprintf
+           "<tr><td>%d</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n"
+           s.shard_id (server_name s.server) s.connections s.requests s.cycles
+           (sensitive_unsafe_of s.totals)))
+    r.shard_results;
+  add
+    (Printf.sprintf
+       "<tr><th>total</th><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr></table>\n"
+       (mix_name r.config.mix) r.total_connections r.total_requests r.total_cycles
+       r.sensitive_unsafe);
+  let html = Dashboard.to_html (dashboard r) in
+  (* splice the fleet table right under the dashboard's <h1>; if the
+     anchor ever changes just prepend instead of failing *)
+  let anchor = "<h1>memguard exposure observatory</h1>\n" in
+  let alen = String.length anchor and hlen = String.length html in
+  let rec find i =
+    if i + alen > hlen then None
+    else if String.sub html i alen = anchor then Some (i + alen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> String.sub html 0 i ^ Buffer.contents banner ^ String.sub html i (hlen - i)
+  | None -> Buffer.contents banner ^ html
+
+let pp_summary fmt r =
+  Format.fprintf fmt "fleet: %d shards (%s), level %s@." r.config.shards
+    (mix_name r.config.mix)
+    (Protection.name r.config.level);
+  Format.fprintf fmt "connections: %d  requests: %d@." r.total_connections r.total_requests;
+  Format.fprintf fmt "simulated cycles: %d@." r.total_cycles;
+  Format.fprintf fmt "sensitive unsafe byte-ticks: %d@." r.sensitive_unsafe;
+  Format.fprintf fmt "events: %d  fingerprint: %s@."
+    (List.length r.merged_events) (fingerprint r)

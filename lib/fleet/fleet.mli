@@ -1,0 +1,130 @@
+(** Fleet-scale simulation: many independent machines, one merged report.
+
+    The paper's fig-5 timeline exercises one machine with tens of
+    connections; the ROADMAP north-star asks what the protection levels
+    cost at 10k+ connections.  One sequential [System.t] over one [Bytes.t]
+    RAM cannot reach that, so the fleet shards the workload: [shards]
+    complete machines, each owning its {e own} kernel, RAM, RSA key,
+    observability context and PRNG stream (derived from the master seed
+    with [Prng.derive ~tag:shard_id]), run the scripted timeline
+    independently — on OCaml 5 domains when [domains > 1] — and a
+    deterministic merge folds the per-shard exposure ledgers, scan
+    snapshots, counters and cycle counts into one aggregate report.
+
+    Determinism contract: shard [i]'s result is a pure function of
+    [(config, i)] — no state is shared between shards (the bignum layer's
+    per-domain caches are domain-local, see [Bn]), so the merged report is
+    byte-identical for any [domains] value and any scheduling.  The merged
+    event stream is ordered by [(tick, shard_id, seq)]. *)
+
+module Obs := Memguard_obs.Obs
+module Report := Memguard_scan.Report
+module Prng := Memguard_util.Prng
+
+(** Which server each shard runs.  [Mixed] alternates by shard parity
+    (even shards sshd, odd apache) — the fleet-wide workload mix. *)
+type mix = Ssh_only | Http_only | Mixed
+
+val mix_name : mix -> string
+
+type config = {
+  shards : int;  (** number of independent machines *)
+  domains : int;  (** worker domains; [<= 1] runs sequentially *)
+  level : Memguard.Protection.level;
+  mix : mix;
+  num_pages : int;  (** RAM frames per shard *)
+  master_seed : int;  (** shard [i] streams from [Prng.derive ~tag:i] *)
+  conns_low : int;  (** timeline low-plateau concurrency, per shard *)
+  conns_high : int;  (** timeline peak concurrency, per shard *)
+  churn : int;  (** reconnect cycles per slot per tick *)
+  scan_mode : Memguard.System.scan_mode;
+  breach_age : int option;  (** arm the exposure SLO on every shard *)
+}
+
+val default : config
+(** 4 shards, [domains = Domain.recommended_domain_count ()], Unprotected,
+    [Mixed], 2048 pages, seed 1, low/high = 16/32, churn 3, incremental
+    scans, no SLO. *)
+
+(** One entry of a shard's tick-stamped event stream (scan results and
+    SLO breaches, extracted from the shard's trace).  [seq] is the
+    shard-local trace sequence number, so [(tick, shard_id, seq)] totally
+    orders the merged stream. *)
+type event = {
+  tick : int;
+  shard_id : int;
+  seq : int;
+  label : string;
+  value : int;
+}
+
+type shard_result = {
+  shard_id : int;
+  server : Memguard.Timeline.server;
+  snapshots : Report.snapshot list;  (** one per tick, as [Timeline.run] *)
+  totals : ((Obs.origin * Obs.mem_class) * int) list;  (** exposure ledger *)
+  series : (int * ((Obs.origin * Obs.mem_class) * int) list) list;
+  lifetimes : (Obs.origin * int list) list;
+  breaches : Memguard.Dashboard.breach list;
+  counters : (string * int) list;
+  cycles : int;
+  cycles_by_subsystem : (string * int) list;
+  events : event list;
+  connections : int;  (** sshd + apache connections opened on this shard *)
+  requests : int;
+}
+
+type report = {
+  config : config;
+  shard_results : shard_result list;  (** ordered by [shard_id] *)
+  merged_events : event list;  (** sorted by [(tick, shard_id, seq)] *)
+  total_connections : int;
+  total_requests : int;
+  total_cycles : int;
+  sensitive_unsafe : int;
+      (** merged byte·ticks of sensitive origins outside mlocked-anon *)
+}
+
+val run_shard : config -> int -> shard_result
+(** Run shard [i] to completion on the calling domain.  Pure in
+    [(config, i)]: same inputs, byte-identical result. *)
+
+val run : config -> report
+(** Run the whole fleet.  With [config.domains > 1] shards execute on
+    that many OCaml domains (work-stealing over shard ids); with [1], or
+    when only one shard exists, everything runs sequentially on the
+    calling domain.  The report is identical either way. *)
+
+val derive_rng : config -> int -> Prng.t
+(** The PRNG stream shard [i] will use ([Prng.derive] from the master
+    seed) — exposed so tests can replay a shard by hand. *)
+
+val dashboard : report -> Memguard.Dashboard.t
+(** The merged fleet as a [Dashboard.t]: per-tick snapshots, exposure
+    series and totals, lifetimes, breaches, counters and cycles are the
+    shard-wise sums/concatenations, so every dashboard renderer (HTML,
+    JSON, summary) consumes the fleet exactly as it consumes one
+    machine.  The embedded snapshots carry merged hit {e counts} only
+    (no per-hit lists — those stay per shard). *)
+
+val inspect_shard : config -> shard:int -> tick:int -> string
+(** Re-run shard [shard] sequentially up to [tick] and render the live
+    machine with [Introspect.render] — the fleet's drill-down: any
+    shard's /proc view at any tick, reproduced on demand from the master
+    seed. *)
+
+val to_json : report -> string
+(** Canonical machine-readable report: config, per-shard summaries,
+    merged totals and the merged event stream.  Deterministic — contains
+    no wall-clock times, hashes or addresses of OCaml values — so equal
+    fleets render equal bytes; {!fingerprint} digests it. *)
+
+val to_html : report -> string
+(** Self-contained HTML: the merged {!dashboard} rendered by
+    [Dashboard.to_html] with a fleet banner (per-shard table) prepended. *)
+
+val fingerprint : report -> string
+(** MD5 hex digest of {!to_json} — the determinism guard: must not
+    depend on [config.domains] or scheduling. *)
+
+val pp_summary : Format.formatter -> report -> unit

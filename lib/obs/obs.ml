@@ -73,6 +73,17 @@ type info = { origin : origin; pid : int; birth_tick : int }
 
 type interval = { start : int; ilen : int; info : info }
 
+(* one frame-bounded slice of a provenance interval, as the exposure
+   ledger integrates it; [ccls]/[cgen] cache the classification and the
+   frame's class generation at the time it was computed *)
+type exp_chunk = {
+  caddr : int;
+  clen : int;
+  cinfo : info;
+  mutable ccls : mem_class;
+  mutable cgen : int;
+}
+
 (* ---- simulated-cycle cost model (see Cost below) ---- *)
 
 type cost_op =
@@ -144,6 +155,16 @@ type ctx = {
   (* exposure ledger *)
   mutable classifier : (addr:int -> mem_class) option;
   mutable class_gran : int;  (* frame size: classification granularity *)
+  mutable class_epoch_fn : (unit -> int) option;
+  mutable frame_gen_fn : (pfn:int -> int) option;
+  mutable prov_epoch : int;  (* bumped on any interval/stash change *)
+  (* advance memo: the frame-split chunk list of the last advance, valid
+     while [prov_epoch] is unchanged; chunk classifications revalidate
+     against the machine's class-generation counters *)
+  mutable memo_chunks : exp_chunk array;
+  mutable memo_stash : (int * int * int * info) array;  (* slot, off, len *)
+  mutable memo_prov_epoch : int;  (* -1 = memo invalid *)
+  mutable memo_class_epoch : int;
   exposure : (origin * mem_class, int ref) Hashtbl.t;
   mutable exposure_series : (int * ((origin * mem_class) * int) list) list;
       (* newest first *)
@@ -195,6 +216,13 @@ let make ~enabled ~capacity =
     stashes = Hashtbl.create 8;
     classifier = None;
     class_gran = 4096;
+    class_epoch_fn = None;
+    frame_gen_fn = None;
+    prov_epoch = 0;
+    memo_chunks = [||];
+    memo_stash = [||];
+    memo_prov_epoch = -1;
+    memo_class_epoch = 0;
     exposure = Hashtbl.create 32;
     exposure_series = [];
     last_advance_ = 0;
@@ -473,17 +501,24 @@ module Provenance = struct
   let clear ctx ~addr ~len =
     if ctx.enabled_ && len > 0 then begin
       let e = addr + len in
-      ctx.intervals <-
-        List.concat_map
-          (fun iv ->
-            let s = iv.start and ie = iv.start + iv.ilen in
-            if ie <= addr || s >= e then [ iv ]
-            else begin
-              record_lifetime ctx iv.info;
-              (if s < addr then [ { iv with ilen = addr - s } ] else [])
-              @ (if ie > e then [ { start = e; ilen = ie - e; info = iv.info } ] else [])
-            end)
-          ctx.intervals
+      (* fast path: most clears come from [Kernel.write_mem] over ranges
+         holding no key material — an allocation-free overlap test skips
+         the full list rebuild (and the memo invalidation) for them *)
+      if List.exists (fun iv -> iv.start < e && iv.start + iv.ilen > addr) ctx.intervals
+      then begin
+        ctx.intervals <-
+          List.concat_map
+            (fun iv ->
+              let s = iv.start and ie = iv.start + iv.ilen in
+              if ie <= addr || s >= e then [ iv ]
+              else begin
+                record_lifetime ctx iv.info;
+                (if s < addr then [ { iv with ilen = addr - s } ] else [])
+                @ (if ie > e then [ { start = e; ilen = ie - e; info = iv.info } ] else [])
+              end)
+            ctx.intervals;
+        ctx.prov_epoch <- ctx.prov_epoch + 1
+      end
     end
 
   let register ctx ~origin ~pid ~addr ~len =
@@ -491,7 +526,8 @@ module Provenance = struct
       clear ctx ~addr ~len;
       ctx.intervals <-
         { start = addr; ilen = len; info = { origin; pid; birth_tick = ctx.tick_ } }
-        :: ctx.intervals
+        :: ctx.intervals;
+      ctx.prov_epoch <- ctx.prov_epoch + 1
     end
 
   let overlaps ctx ~addr ~len =
@@ -510,11 +546,17 @@ module Provenance = struct
           (overlaps ctx ~addr:src ~len)
       in
       clear ctx ~addr:dst ~len;
-      ctx.intervals <- clones @ ctx.intervals
+      if clones <> [] then begin
+        ctx.intervals <- clones @ ctx.intervals;
+        ctx.prov_epoch <- ctx.prov_epoch + 1
+      end
     end
 
   let stash ctx ~slot ~addr ~len =
-    if ctx.enabled_ then Hashtbl.replace ctx.stashes slot (overlaps ctx ~addr ~len)
+    if ctx.enabled_ then begin
+      Hashtbl.replace ctx.stashes slot (overlaps ctx ~addr ~len);
+      ctx.prov_epoch <- ctx.prov_epoch + 1
+    end
 
   let restore ctx ~slot ~addr ~len =
     if ctx.enabled_ then begin
@@ -525,7 +567,8 @@ module Provenance = struct
            List.map (fun (off, l, info) -> { start = addr + off; ilen = l; info }) entries
            @ ctx.intervals
        | None -> ());
-      Hashtbl.remove ctx.stashes slot
+      Hashtbl.remove ctx.stashes slot;
+      ctx.prov_epoch <- ctx.prov_epoch + 1
     end
 
   let lookup ctx ~addr =
@@ -564,10 +607,13 @@ module Exposure = struct
     | Free_ram
     | Swapped
 
-  let set_classifier ctx ~page_size f =
+  let set_classifier ctx ~page_size ?epoch ?frame_gen f =
     if ctx.enabled_ then begin
       ctx.classifier <- Some f;
-      ctx.class_gran <- page_size
+      ctx.class_gran <- page_size;
+      ctx.class_epoch_fn <- epoch;
+      ctx.frame_gen_fn <- frame_gen;
+      ctx.memo_prov_epoch <- -1
     end
 
   let set_breach_age ctx age =
@@ -596,7 +642,18 @@ module Exposure = struct
      swap-slot image) contributes len * (t - last_advance) byte-ticks to
      its (origin, class) bucket, classified at advance time.  Intervals are
      split on frame boundaries because classification is per frame.  The
-     ledger only reads simulated state — it never mutates it. *)
+     ledger only reads simulated state — it never mutates it.
+
+     The frame-split chunk list is memoized across ticks: it only changes
+     when the provenance map changes ([prov_epoch]), and a chunk's cached
+     classification only goes stale when its frame's descriptor changes
+     ([frame_gen_fn], wired to [Phys_mem.class_generation] by the kernel).
+     On a quiet tick — no provenance churn, no class transitions — advance
+     is a single epoch comparison plus a re-accumulation pass, with zero
+     sorting and zero classifier calls.  Chunks are rebuilt in the same
+     sorted order the direct computation used, so totals, series and
+     breach-event emission order are bit-identical to the unmemoized
+     ledger (test_exposure's shadow ledger checks this). *)
   let advance ctx t =
     match ctx.classifier with
     | None -> ()
@@ -621,26 +678,73 @@ module Exposure = struct
           | _ -> ()
         in
         let gran = ctx.class_gran in
-        List.iter
-          (fun iv ->
-            let e = iv.start + iv.ilen in
-            let pos = ref iv.start in
-            while !pos < e do
-              let next = min e (((!pos / gran) + 1) * gran) in
-              let cls = classify ~addr:!pos in
-              add iv.info.origin cls (next - !pos);
-              breach iv.info cls !pos (next - !pos);
-              pos := next
-            done)
-          (List.sort compare ctx.intervals);
-        List.iter
-          (fun (slot, entries) ->
-            List.iter
-              (fun (off, l, info) ->
-                add info.origin Swapped l;
-                breach info Swapped ((slot * gran) + off) l)
-              entries)
-          (Provenance.stashed ctx);
+        let frame_gen pfn =
+          match ctx.frame_gen_fn with Some f -> f ~pfn | None -> -1
+        in
+        if ctx.memo_prov_epoch <> ctx.prov_epoch then begin
+          (* provenance changed: rebuild the chunk list from scratch *)
+          let chunks = ref [] in
+          List.iter
+            (fun iv ->
+              let e = iv.start + iv.ilen in
+              let pos = ref iv.start in
+              while !pos < e do
+                let next = min e (((!pos / gran) + 1) * gran) in
+                chunks :=
+                  {
+                    caddr = !pos;
+                    clen = next - !pos;
+                    cinfo = iv.info;
+                    ccls = classify ~addr:!pos;
+                    cgen = frame_gen (!pos / gran);
+                  }
+                  :: !chunks;
+                pos := next
+              done)
+            (List.sort compare ctx.intervals);
+          ctx.memo_chunks <- Array.of_list (List.rev !chunks);
+          let st = ref [] in
+          List.iter
+            (fun (slot, entries) ->
+              List.iter (fun (off, l, info) -> st := (slot, off, l, info) :: !st) entries)
+            (Provenance.stashed ctx);
+          ctx.memo_stash <- Array.of_list (List.rev !st);
+          ctx.memo_prov_epoch <- ctx.prov_epoch;
+          ctx.memo_class_epoch <-
+            (match ctx.class_epoch_fn with Some ep -> ep () | None -> 0)
+        end else begin
+          (* provenance unchanged: revalidate cached classifications *)
+          match (ctx.class_epoch_fn, ctx.frame_gen_fn) with
+          | Some ep, Some _ ->
+            let now = ep () in
+            if now <> ctx.memo_class_epoch then begin
+              (* some frame changed class: re-classify only moved frames *)
+              Array.iter
+                (fun c ->
+                  let g = frame_gen (c.caddr / gran) in
+                  if g <> c.cgen then begin
+                    c.ccls <- classify ~addr:c.caddr;
+                    c.cgen <- g
+                  end)
+                ctx.memo_chunks;
+              ctx.memo_class_epoch <- now
+            end
+          | _ ->
+            (* no change counters wired: classifications may go stale
+               invisibly, so re-classify every chunk (still skips the
+               per-tick sort and rebuild) *)
+            Array.iter (fun c -> c.ccls <- classify ~addr:c.caddr) ctx.memo_chunks
+        end;
+        Array.iter
+          (fun c ->
+            add c.cinfo.origin c.ccls c.clen;
+            breach c.cinfo c.ccls c.caddr c.clen)
+          ctx.memo_chunks;
+        Array.iter
+          (fun (slot, off, l, info) ->
+            add info.origin Swapped l;
+            breach info Swapped ((slot * gran) + off) l)
+          ctx.memo_stash;
         ctx.last_advance_ <- t;
         ctx.exposure_series <- (t, totals ctx) :: ctx.exposure_series
       end

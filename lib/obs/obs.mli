@@ -255,11 +255,25 @@ module Exposure : sig
     | Free_ram
     | Swapped
 
-  val set_classifier : ctx -> page_size:int -> (addr:int -> mem_class) -> unit
+  val set_classifier :
+    ctx ->
+    page_size:int ->
+    ?epoch:(unit -> int) ->
+    ?frame_gen:(pfn:int -> int) ->
+    (addr:int -> mem_class) ->
+    unit
   (** Install the frame classifier (called by [Kernel.create]; last caller
       wins — one machine per context).  [page_size] is the classification
       granularity: intervals are split on these boundaries.  No-op on a
-      disabled context. *)
+      disabled context.
+
+      [epoch] and [frame_gen] wire the machine's class-generation counters
+      ([Phys_mem.class_epoch] / [Phys_mem.class_generation]) so that
+      {!advance} can memoize per-chunk classifications: on a tick where
+      [epoch ()] is unchanged nothing is re-classified, and when it has
+      moved only chunks whose frame's [frame_gen] counter moved are.  When
+      omitted, every chunk is re-classified on every advance (correct but
+      slower — classifications could otherwise go stale invisibly). *)
 
   val set_breach_age : ctx -> int option -> unit
   (** Age limit (in ticks) after which a {e sensitive} interval outside

@@ -18,6 +18,19 @@ let next_int64 t =
 
 let split t = { state = next_int64 t }
 
+(* Domain-separation constant for [derive], distinct from [golden_gamma] so
+   a tagged child stream can never alias one of the parent's own future
+   states (which march in [golden_gamma] steps).  The constant is the LXM
+   paper's 64-bit multiplier — any odd constant with good avalanche under
+   [mix] works; what matters is that it is fixed, so derivation is a pure
+   function of (parent state, tag). *)
+let derive_gamma = 0xD1342543DE82EF95L
+
+let derive t ~tag =
+  if tag < 0 then invalid_arg "Prng.derive: tag must be non-negative";
+  let z = Int64.add t.state (Int64.mul (Int64.of_int (tag + 1)) derive_gamma) in
+  { state = mix (Int64.logxor (mix z) golden_gamma) }
+
 let copy t = { state = t.state }
 
 let bits30 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)

@@ -16,6 +16,16 @@ val of_int : int -> t
 val split : t -> t
 (** [split t] derives an independent generator; [t] advances. *)
 
+val derive : t -> tag:int -> t
+(** [derive t ~tag] is a {e pure} tagged split: an independent child
+    generator determined only by [t]'s current state and the
+    domain-separation [tag] ([>= 0]).  [t] does not advance, so any number
+    of children can be derived from one master in any order — the fleet
+    simulator derives shard [i]'s stream with [~tag:i] and gets the same
+    stream no matter which domain runs the shard or how many siblings
+    exist.  Distinct tags yield statistically independent streams.
+    Raises [Invalid_argument] on a negative tag. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (the two then evolve identically). *)
 

@@ -51,7 +51,8 @@ let mark_allocated t pfn order =
   for i = pfn to pfn + (1 lsl order) - 1 do
     let p = Phys_mem.page t.mem i in
     p.Page.owner <- Page.Kernel;
-    p.Page.refcount <- 1
+    p.Page.refcount <- 1;
+    Phys_mem.touch_class t.mem i
   done;
   t.free_count <- t.free_count - (1 lsl order)
 
@@ -133,6 +134,7 @@ let free t ~pfn ~order =
     p.Page.owner <- Page.Free;
     p.Page.refcount <- 0;
     p.Page.locked <- false;
+    Phys_mem.touch_class t.mem i;
     (* the paper's kernel patch: clear_highpage before entering free lists *)
     if t.zero_on_free then begin
       Phys_mem.clear_frame t.mem i;

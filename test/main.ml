@@ -26,5 +26,6 @@ let () =
          Test_edge.suite;
          Test_misc_extra.suite;
          Test_fault.suite;
+        Test_fleet.suite;
          Test_final.suite
        ])
