@@ -245,6 +245,29 @@ let scan_engine_bench () =
         Experiment.timeline ~num_pages ~scan_mode:System.Incremental ~obs Experiment.Ssh)
   in
   let ledger_overhead_pct = 100. *. ((t_ledger_on /. t_ledger_off) -. 1.) in
+  (* timeseries rider: the full telemetry path (per-tick series sampling
+     plus the default alert pack evaluated every scan) vs the same
+     timeline with observability off.  Wall-clock, so warn-only in the
+     perf gate; the per-series sample counts below are the deterministic
+     half — they pin exactly how often System.scan feeds each series,
+     so a sampling regression (a series silently dropped or double-fed)
+     fails the bench-gate key check even on a noisy runner. *)
+  let t_telemetry =
+    time_min (fun () ->
+        let obs = Obs.create ~ring_capacity:(1 lsl 20) () in
+        Dashboard.install_default_alerts obs;
+        Experiment.timeline ~num_pages ~scan_mode:System.Incremental ~obs Experiment.Ssh)
+  in
+  let timeseries_overhead_pct = 100. *. ((t_telemetry /. t_ledger_off) -. 1.) in
+  let series_counts =
+    let obs = Obs.create ~ring_capacity:(1 lsl 20) () in
+    Dashboard.install_default_alerts obs;
+    ignore
+      (Experiment.timeline ~num_pages ~scan_mode:System.Incremental ~obs Experiment.Ssh);
+    List.map
+      (fun name -> (name, Obs.Timeseries.sample_count obs name))
+      (Obs.Timeseries.names obs)
+  in
   let exposure_by_level =
     List.map
       (fun level ->
@@ -298,6 +321,11 @@ let scan_engine_bench () =
         (p samples 50.) (p samples 90.) (p samples 100.))
     [ ("multipass", wall_seed); ("full", wall_full); ("incremental", wall_incr) ];
   Format.printf "%-44s %11.1f%%@." "exposure ledger overhead (timeline)" ledger_overhead_pct;
+  Format.printf "%-44s %11.1f%%@." "timeseries + alert overhead (timeline)"
+    timeseries_overhead_pct;
+  Format.printf "%-44s %7d series / %d samples@." "telemetry sampled (timeline)"
+    (List.length series_counts)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 series_counts);
   Format.printf "%-44s %12d conns (%d shards)@." "fleet connections (8-shard timeline)"
     fleet.Fleet.total_connections fleet_cfg.Fleet.shards;
   Format.printf "%-44s %12.6f s / %.6f s  (%.2fx at 4 domains)@."
@@ -334,6 +362,7 @@ let scan_engine_bench () =
       \  \"timeline_scan_wall_p90_incremental_s\": %.6f,\n\
       \  \"timeline_scan_wall_max_incremental_s\": %.6f,\n\
       \  \"exposure_ledger_overhead_pct\": %.2f,\n\
+      \  \"timeseries_overhead_pct\": %.2f,\n\
       \  \"fleet_shards\": %d,\n\
       \  \"fleet_connections\": %d,\n\
       \  \"fleet_requests\": %d,\n\
@@ -350,7 +379,8 @@ let scan_engine_bench () =
       (p wall_seed 50.) (p wall_seed 90.) (p wall_seed 100.)
       (p wall_full 50.) (p wall_full 90.) (p wall_full 100.)
       (p wall_incr 50.) (p wall_incr 90.) (p wall_incr 100.)
-      ledger_overhead_pct fleet_cfg.Fleet.shards fleet.Fleet.total_connections
+      ledger_overhead_pct timeseries_overhead_pct fleet_cfg.Fleet.shards
+      fleet.Fleet.total_connections
       fleet.Fleet.total_requests fleet.Fleet.total_cycles fleet.Fleet.sensitive_unsafe
       (Domain.recommended_domain_count ()) t_fleet_1 t_fleet_4 fleet_speedup
       fleet_conns_per_sec
@@ -361,7 +391,14 @@ let scan_engine_bench () =
               Printf.sprintf
                 ",\n  \"exposure_byte_ticks_%s\": %d,\n\
                  \  \"exposure_sensitive_unsafe_byte_ticks_%s\": %d" slug total slug unsafe)
-            exposure_by_level))
+            exposure_by_level
+          @ List.map
+              (fun (name, n) ->
+                let slug =
+                  String.map (function '.' | '-' -> '_' | c -> c) name
+                in
+                Printf.sprintf ",\n  \"series_samples_%s\": %d" slug n)
+              series_counts))
   in
   let oc = open_out "BENCH_scan.json" in
   output_string oc json;

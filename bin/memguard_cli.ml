@@ -72,12 +72,13 @@ let directories_arg =
 
 let timeline_cmd =
   let module Obs = Memguard_obs.Obs in
-  let run level server seed pages key_bits churn trace metrics =
+  let run level server seed pages key_bits churn trace metrics series =
     Format.printf "# timeline: server=%s level=%s (%s)@."
       (match server with Experiment.Ssh -> "ssh" | Experiment.Http -> "http")
       (Protection.name level) (Protection.describe level);
     let obs =
-      if trace <> None || metrics then Some (Obs.create ~ring_capacity:(1 lsl 20) ())
+      if trace <> None || metrics || series <> None then
+        Some (Obs.create ~ring_capacity:(1 lsl 20) ())
       else None
     in
     let snaps = Experiment.timeline ~level ~seed ~num_pages:pages ~key_bits ~churn ?obs server in
@@ -94,6 +95,16 @@ let timeline_cmd =
          close_out oc;
          Format.printf "@.# wrote %d trace events to %s (%d dropped by the ring)@."
            (List.length (Obs.Trace.records obs)) path (Obs.Trace.dropped obs)
+       | None -> ());
+      (match series with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc
+           (if Filename.check_suffix path ".prom" then Obs.Timeseries.to_prometheus obs
+            else Obs.Timeseries.to_json obs);
+         close_out oc;
+         Format.printf "@.# wrote %d telemetry series to %s@."
+           (List.length (Obs.Timeseries.names obs)) path
        | None -> ());
       if metrics then begin
         Format.printf "@.# subsystem metrics@.";
@@ -113,10 +124,16 @@ let timeline_cmd =
          & info [ "metrics" ]
              ~doc:"Collect and print subsystem counters and scan-time histograms.")
   in
+  let series =
+    Arg.(value & opt (some string) None
+         & info [ "series" ] ~docv:"FILE"
+             ~doc:"Write the per-tick telemetry series to $(docv): Prometheus text \
+                   exposition if $(docv) ends in .prom, canonical JSON otherwise.")
+  in
   Cmd.v
     (Cmd.info "timeline" ~doc:"Figures 5/6/9-16/21-28: key copies over the scripted t=0..29 run")
     Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ key_bits_arg $ churn
-          $ trace $ metrics)
+          $ trace $ metrics $ series)
 
 let ext2_cmd =
   let run level server seed pages key_bits trials connections directories =
@@ -449,6 +466,179 @@ let observe_cmd =
     Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ scan_mode_arg
           $ churn $ breach_age $ html $ json)
 
+let watch_cmd =
+  let module Obs = Memguard_obs.Obs in
+  let json_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let alerts_json_of obs ~level ~server ~seed =
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let comma_sep f xs = List.iteri (fun i x -> if i > 0 then add ","; f x) xs in
+    add "{\n";
+    add "  \"level\": \"%s\",\n" (json_escape (Protection.name level));
+    add "  \"server\": \"%s\",\n"
+      (match server with Experiment.Ssh -> "ssh" | Experiment.Http -> "http");
+    add "  \"seed\": %d,\n" seed;
+    add "  \"series_sampled\": %d,\n" (List.length (Obs.Timeseries.names obs));
+    add "  \"rules\": [";
+    comma_sep
+      (fun (name, series, cond) ->
+        add "{\"name\":\"%s\",\"series\":\"%s\",\"condition\":\"%s\",\"fired\":%d}"
+          (json_escape name) (json_escape series)
+          (json_escape (Obs.Alert.describe_condition cond))
+          (Obs.Alert.fired obs name))
+      (Obs.Alert.rules obs);
+    add "],\n";
+    add "  \"alerts\": [";
+    comma_sep
+      (fun (tick, rule, series, value) ->
+        add "{\"tick\":%d,\"rule\":\"%s\",\"series\":\"%s\",\"value\":%s}" tick
+          (json_escape rule) (json_escape series) (Obs.float_json value))
+      (Obs.Alert.firings obs);
+    add "]\n}\n";
+    Buffer.contents buf
+  in
+  let watch_html_of obs ~level ~server =
+    let buf = Buffer.create 8192 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let esc = Dashboard.html_escape in
+    add "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+    add "<title>memguard watch — %s/%s</title>\n"
+      (esc (Protection.name level))
+      (match server with Experiment.Ssh -> "ssh" | Experiment.Http -> "http");
+    add
+      "<style>body{font:14px/1.5 system-ui,sans-serif;margin:24px auto;max-width:960px;color:#111}\n\
+       h1{font-size:20px}table{border-collapse:collapse;margin:8px 0}\n\
+       td,th{border:1px solid #cbd5e1;padding:3px \
+       10px;text-align:right}th{background:#f1f5f9}td:first-child,th:first-child{text-align:left}\n\
+       .spark{width:160px;height:28px;background:#fff;border:1px solid \
+       #e2e8f0;vertical-align:middle}\n\
+       .ok{color:#16a34a;font-weight:600}.bad{color:#dc2626;font-weight:600}</style></head><body>\n";
+    add "<h1>memguard watch</h1>\n";
+    add "<table><tr><th>series</th><th>kind</th><th>last</th><th>samples</th><th>trend</th></tr>";
+    List.iter
+      (fun (m : Dashboard.metric_series) ->
+        let last = match List.rev m.Dashboard.ms_points with (_, v) :: _ -> v | [] -> 0. in
+        add "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td></tr>"
+          (esc m.Dashboard.ms_name) (esc m.Dashboard.ms_kind) (Obs.float_json last)
+          m.Dashboard.ms_samples
+          (Dashboard.svg_sparkline m.Dashboard.ms_points))
+      (Dashboard.collect_metrics obs);
+    add "</table>\n";
+    add "<h1>alerts</h1>\n";
+    (match Obs.Alert.firings obs with
+     | [] -> add "<p class=\"ok\">no alerts fired</p>\n"
+     | fs ->
+       add "<table><tr><th>tick</th><th>rule</th><th>series</th><th>value</th></tr>";
+       List.iter
+         (fun (tick, rule, series, value) ->
+           add "<tr><td>%d</td><td class=\"bad\">%s</td><td>%s</td><td>%s</td></tr>" tick
+             (esc rule) (esc series) (Obs.float_json value))
+         fs;
+       add "</table>\n");
+    add "</body></html>\n";
+    Buffer.contents buf
+  in
+  let run level server seed pages scan_mode churn breach_age html alerts_json prom =
+    let obs = Obs.create ~ring_capacity:(1 lsl 20) () in
+    Obs.Exposure.set_breach_age obs breach_age;
+    Dashboard.install_default_alerts obs;
+    let sys = System.create ~num_pages:pages ~seed ~scan_mode ~obs ~level () in
+    ignore (Timeline.run ~churn sys (timeline_server server));
+    Format.printf "# watch: server=%s level=%s (%d series, %d rules)@."
+      (match server with Experiment.Ssh -> "ssh" | Experiment.Http -> "http")
+      (Protection.name level)
+      (List.length (Obs.Timeseries.names obs))
+      (List.length (Obs.Alert.rules obs));
+    (* per-tick table over the headline series *)
+    let headline =
+      [ ("free", "kernel.free_pages"); ("swap", "kernel.swap_slots_used");
+        ("cache", "kernel.page_cache_frames"); ("locked", "kernel.locked_frames");
+        ("unsafe", "exposure.sensitive_unsafe"); ("sweep", "scan.sweep_cycles");
+        ("hits", "scan.hits"); ("cyc/t", "cost.cycles_per_tick") ]
+    in
+    let cols = List.map (fun (h, s) -> (h, Obs.Timeseries.points obs s)) headline in
+    let ticks =
+      List.sort_uniq compare (List.concat_map (fun (_, pts) -> List.map fst pts) cols)
+    in
+    Format.printf "%6s" "tick";
+    List.iter (fun (h, _) -> Format.printf " %10s" h) cols;
+    Format.printf "@.";
+    List.iter
+      (fun tick ->
+        Format.printf "%6d" tick;
+        List.iter
+          (fun (_, pts) ->
+            match List.assoc_opt tick pts with
+            | Some v -> Format.printf " %10s" (Obs.float_json v)
+            | None -> Format.printf " %10s" "-")
+          cols;
+        Format.printf "@.")
+      ticks;
+    (match Obs.Alert.firings obs with
+     | [] -> Format.printf "no alerts fired@."
+     | fs ->
+       List.iter
+         (fun (tick, rule, series, value) ->
+           Format.printf "ALERT tick=%d rule=%s series=%s value=%s@." tick rule series
+             (Obs.float_json value))
+         fs);
+    (match html with
+     | Some path ->
+       write_file path (watch_html_of obs ~level ~server);
+       Format.printf "wrote %s@." path
+     | None -> ());
+    (match alerts_json with
+     | Some path ->
+       write_file path (alerts_json_of obs ~level ~server ~seed);
+       Format.printf "wrote %s@." path
+     | None -> ());
+    match prom with
+    | Some path ->
+      write_file path (Obs.Timeseries.to_prometheus obs);
+      Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  let churn =
+    Arg.(value & opt int 3 & info [ "churn" ] ~docv:"N" ~doc:"Reconnect cycles per slot per tick.")
+  in
+  let breach_age =
+    Arg.(value & opt (some int) None
+         & info [ "breach-age" ] ~docv:"TICKS" ~doc:"Arm the exposure SLO (see observe).")
+  in
+  let html =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE"
+             ~doc:"Write a telemetry panel (sparkline per series + alert table) to $(docv).")
+  in
+  let alerts_json =
+    Arg.(value & opt (some string) None
+         & info [ "alerts-json" ] ~docv:"FILE"
+             ~doc:"Write the installed rules and chronological firings as JSON to $(docv).")
+  in
+  let prom =
+    Arg.(value & opt (some string) None
+         & info [ "prom" ] ~docv:"FILE"
+             ~doc:"Write all series as Prometheus text exposition to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Telemetry watch: run the fig-5 timeline with the default alert pack armed \
+          (exposure SLO, swap pressure, constant-time leakage sentinel) and print the \
+          per-tick series table plus any alert firings")
+    Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ scan_mode_arg
+          $ churn $ breach_age $ html $ alerts_json $ prom)
+
 let overhead_cmd =
   let module Obs = Memguard_obs.Obs in
   let run seed pages scan_mode json flamegraph trace flame_level =
@@ -564,6 +754,13 @@ let fleet_cmd =
     in
     match inspect_shard with
     | Some shard ->
+      if shard < 0 || shard >= shards then begin
+        Format.eprintf "memguard fleet: shard %d out of range (fleet has %d shard%s: 0..%d)@."
+          shard shards
+          (if shards = 1 then "" else "s")
+          (shards - 1);
+        Stdlib.exit 2
+      end;
       Format.printf "# fleet inspect: shard=%d tick=%d@." shard tick;
       print_string (Fleet.inspect_shard cfg ~shard ~tick)
     | None ->
@@ -670,6 +867,6 @@ let main =
          "Reproduction of Harrison & Xu, 'Protecting Cryptographic Keys from Memory \
           Disclosure Attacks' (DSN'07)")
     [ timeline_cmd; ext2_cmd; tty_cmd; before_after_cmd; perf_cmd; ablations_cmd; dat_cmd;
-      levels_cmd; chaos_cmd; observe_cmd; overhead_cmd; inspect_cmd; fleet_cmd ]
+      levels_cmd; chaos_cmd; observe_cmd; watch_cmd; overhead_cmd; inspect_cmd; fleet_cmd ]
 
 let () = Stdlib.exit (Cmd.eval main)

@@ -607,8 +607,14 @@ module Mont = struct
         result
       end
       else begin
-        (* fixed 4-bit windows; limb_bits is a multiple of 4, so a window
-           never straddles limbs *)
+        (* Fixed 4-bit windows; limb_bits is a multiple of 4, so a window
+           never straddles limbs.  Long exponents are the secret ones (RSA
+           dp/dq, DH private), so the schedule must not depend on their bit
+           pattern: the exponent is padded to the modulus width and every
+           window pays one table multiply — a zero window multiplies by the
+           Montgomery one.  The word-mul count (and thus the charged cycle
+           cost) is a function of the limb count k alone, which is what the
+           leakage sentinel asserts per private_op sample. *)
         let table = Array.make 16 one_m in
         table.(1) <- bm;
         for j = 2 to 15 do
@@ -616,18 +622,20 @@ module Mont = struct
           mont_mul_raw ~k ~mm ~n0' ~t table.(j - 1) bm e;
           table.(j) <- e
         done;
+        let elimbs = max k (Array.length exp.mag) in
+        let emag = Array.make elimbs 0 in
+        Array.blit exp.mag 0 emag 0 (Array.length exp.mag);
         let nibble i =
           let bitpos = 4 * i in
-          (exp.mag.(bitpos / limb_bits) lsr (bitpos mod limb_bits)) land 0xf
+          (emag.(bitpos / limb_bits) lsr (bitpos mod limb_bits)) land 0xf
         in
-        let nwin = (nbits + 3) / 4 in
-        let result = Array.copy table.(nibble (nwin - 1)) in
-        for w = nwin - 2 downto 0 do
+        let nwin = elimbs * limb_bits / 4 in
+        let result = Array.copy one_m in
+        for w = nwin - 1 downto 0 do
           for _ = 1 to 4 do
             mont_sqr_raw ~k ~mm ~n0' ~t2 result result
           done;
-          let d = nibble w in
-          if d <> 0 then mont_mul_raw ~k ~mm ~n0' ~t result table.(d) result
+          mont_mul_raw ~k ~mm ~n0' ~t result table.(nibble w) result
         done;
         result
       end

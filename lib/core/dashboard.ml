@@ -11,6 +11,21 @@ type breach = {
   age : int;
 }
 
+type metric_series = {
+  ms_name : string;
+  ms_kind : string;
+  ms_stride : int;
+  ms_samples : int;
+  ms_points : (int * float) list;
+}
+
+type alert_firing = {
+  fired_tick : int;
+  rule : string;
+  rule_series : string;
+  value : float;
+}
+
 type t = {
   level : Protection.level;
   server : Timeline.server;
@@ -26,15 +41,56 @@ type t = {
   counters : (string * int) list;
   cycles : int;
   cycles_by_subsystem : (string * int) list;
+  metrics : metric_series list;
+  alert_rules : (string * string * Obs.Alert.condition) list;
+  alerts : alert_firing list;
 }
 
 let server_name = function Timeline.Ssh -> "ssh" | Timeline.Http -> "http"
+
+(* The standing SLO pack every observed run arms:
+   - exposure-slo: sensitive bytes sat outside mlocked-anon for 3
+     consecutive ticks (the per-tick twin of the byte·tick breach SLO);
+   - swap-pressure: any key-era page reached the swap device;
+   - ct-leakage: the constant-time sentinel — the word-mul cost of
+     [rsa.private_op] showed any variance across samples, i.e. the
+     modular exponentiation leaked secret-dependent work. *)
+let install_default_alerts obs =
+  Obs.Alert.install obs ~name:"exposure-slo" ~series:"exposure.sensitive_unsafe"
+    (Obs.Alert.Threshold { cmp = Obs.Alert.Gt; value = 0.; for_ticks = 3 });
+  Obs.Alert.install obs ~name:"swap-pressure" ~series:"kernel.swap_slots_used"
+    (Obs.Alert.Threshold { cmp = Obs.Alert.Gt; value = 0.; for_ticks = 1 });
+  Obs.Alert.install obs ~name:"ct-leakage" ~series:"rsa.private_op.word_muls"
+    (Obs.Alert.Window_spread { window = 0; min_spread = 1. })
+
+let collect_metrics obs =
+  List.map
+    (fun name ->
+      { ms_name = name;
+        ms_kind =
+          (if Obs.Timeseries.source obs name <> None then "rate"
+           else
+             match Obs.Timeseries.kind obs name with
+             | Some k -> Obs.Timeseries.kind_name k
+             | None -> "gauge");
+        ms_stride = Obs.Timeseries.stride obs name;
+        ms_samples = Obs.Timeseries.sample_count obs name;
+        ms_points = Obs.Timeseries.points obs name
+      })
+    (Obs.Timeseries.names obs)
+
+let collect_alerts obs =
+  List.map
+    (fun (tick, rule, series, value) ->
+      { fired_tick = tick; rule; rule_series = series; value })
+    (Obs.Alert.firings obs)
 
 let run ?(level = Protection.Unprotected) ?(num_pages = 8192) ?(seed = 1)
     ?(scan_mode = System.Incremental) ?(churn = 3) ?breach_age ?(server = Timeline.Ssh) ()
     =
   let obs = Obs.create () in
   Obs.Exposure.set_breach_age obs breach_age;
+  install_default_alerts obs;
   let sys = System.create ~num_pages ~seed ~scan_mode ~obs ~level () in
   let snapshots = Timeline.run ~churn sys server in
   let breaches =
@@ -63,7 +119,10 @@ let run ?(level = Protection.Unprotected) ?(num_pages = 8192) ?(seed = 1)
     breaches;
     counters = Obs.Metrics.counters obs;
     cycles = Obs.Cost.total_cycles obs;
-    cycles_by_subsystem = Obs.Cost.by_subsystem obs
+    cycles_by_subsystem = Obs.Cost.by_subsystem obs;
+    metrics = collect_metrics obs;
+    alert_rules = Obs.Alert.rules obs;
+    alerts = collect_alerts obs
   }
 
 (* ---- derived views ---- *)
@@ -176,7 +235,31 @@ let to_json t =
   add "}},\n";
   add "  \"counters\": {";
   comma_sep (fun (k, v) -> add "\"%s\":%d" (json_escape k) v) t.counters;
-  add "}\n}\n";
+  add "},\n";
+  add "  \"timeseries\": [";
+  comma_sep
+    (fun m ->
+      add "{\"name\":\"%s\",\"kind\":\"%s\",\"stride\":%d,\"samples\":%d,\"points\":["
+        (json_escape m.ms_name) (json_escape m.ms_kind) m.ms_stride m.ms_samples;
+      comma_sep (fun (tick, v) -> add "[%d,%s]" tick (Obs.float_json v)) m.ms_points;
+      add "]}")
+    t.metrics;
+  add "],\n";
+  add "  \"alert_rules\": [";
+  comma_sep
+    (fun (name, series, cond) ->
+      add "{\"name\":\"%s\",\"series\":\"%s\",\"condition\":\"%s\"}" (json_escape name)
+        (json_escape series)
+        (json_escape (Obs.Alert.describe_condition cond)))
+    t.alert_rules;
+  add "],\n";
+  add "  \"alerts\": [";
+  comma_sep
+    (fun a ->
+      add "{\"tick\":%d,\"rule\":\"%s\",\"series\":\"%s\",\"value\":%s}" a.fired_tick
+        (json_escape a.rule) (json_escape a.rule_series) (Obs.float_json a.value))
+    t.alerts;
+  add "]\n}\n";
   Buffer.contents buf
 
 (* ---- self-contained HTML report (inline CSS + SVG, no scripts) ---- *)
@@ -255,6 +338,31 @@ let svg_line_chart ~title ~y_label series =
   add "</svg>";
   Buffer.contents buf
 
+(* inline sparkline for one telemetry series: fixed 160x28 box, float
+   points, min/max annotated by the caller *)
+let svg_sparkline pts =
+  let width = 160 and height = 28 in
+  match pts with
+  | [] | [ _ ] -> "<svg viewBox=\"0 0 160 28\" class=\"spark\"></svg>"
+  | _ ->
+    let xs = List.map (fun (x, _) -> float_of_int x) pts in
+    let ys = List.map snd pts in
+    let xmin = List.fold_left min (List.hd xs) xs in
+    let xmax = List.fold_left max (List.hd xs) xs in
+    let ymin = List.fold_left min (List.hd ys) ys in
+    let ymax = List.fold_left max (List.hd ys) ys in
+    let xspan = if xmax -. xmin > 0. then xmax -. xmin else 1. in
+    let yspan = if ymax -. ymin > 0. then ymax -. ymin else 1. in
+    let px x = 2. +. ((x -. xmin) /. xspan *. float_of_int (width - 4)) in
+    let py y = float_of_int (height - 3) -. ((y -. ymin) /. yspan *. float_of_int (height - 6)) in
+    let points =
+      String.concat " "
+        (List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (px (float_of_int x)) (py y)) pts)
+    in
+    Printf.sprintf
+      "<svg viewBox=\"0 0 %d %d\" class=\"spark\"><polyline points=\"%s\" fill=\"none\" stroke=\"#2563eb\" stroke-width=\"1.5\"/></svg>"
+      width height points
+
 let to_html t =
   let buf = Buffer.create 16384 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -270,6 +378,7 @@ let to_html t =
      .ctitle{font-size:14px;font-weight:600}.grid{stroke:#e2e8f0;stroke-width:1}\n\
      .ylab{font-size:10px;fill:#475569;text-anchor:end}.xlab{font-size:10px;fill:#475569;text-anchor:middle}\n\
      .legend{font-size:11px;fill:#111}\n\
+     .spark{width:160px;height:28px;background:#fff;border:1px solid #e2e8f0;vertical-align:middle}\n\
      .ok{color:#16a34a;font-weight:600}.bad{color:#dc2626;font-weight:600}\n\
      .meta td{text-align:left}</style></head><body>\n";
   add "<h1>memguard exposure observatory</h1>\n";
@@ -310,11 +419,11 @@ let to_html t =
   (* totals matrix *)
   add "<h2>Exposure totals (byte&middot;ticks, origin &times; class)</h2>\n<table><tr><th>origin</th>";
   let classes = classes_present t in
-  List.iter (fun c -> add "<th>%s</th>" (Obs.class_name c)) classes;
+  List.iter (fun c -> add "<th>%s</th>" (html_escape (Obs.class_name c))) classes;
   add "</tr>";
   List.iter
     (fun o ->
-      add "<tr><td>%s%s</td>" (Obs.origin_name o)
+      add "<tr><td>%s%s</td>" (html_escape (Obs.origin_name o))
         (if Obs.origin_sensitive o then "" else " <small>(non-sensitive)</small>");
       List.iter
         (fun c -> add "<td>%d</td>" (bucket_sum (fun k -> k = (o, c)) t.totals))
@@ -332,7 +441,7 @@ let to_html t =
        (fun (o, ages) ->
          let fs = List.map float_of_int ages in
          add "<tr><td>%s</td><td>%d</td><td>%g</td><td>%g</td><td>%g</td><td>%g</td></tr>"
-           (Obs.origin_name o) (List.length ages)
+           (html_escape (Obs.origin_name o)) (List.length ages)
            (Obs.Metrics.percentile fs 50.) (Obs.Metrics.percentile fs 90.)
            (Obs.Metrics.percentile fs 99.) (Obs.Metrics.percentile fs 100.))
        ls;
@@ -357,8 +466,50 @@ let to_html t =
        (fun b ->
          add
            "<tr><td>%d</td><td>%s</td><td>%s</td><td>%d</td><td>%#x</td><td>%d</td><td>%d</td></tr>"
-           b.tick (Obs.origin_name b.origin) (Obs.class_name b.cls) b.pid b.addr b.len b.age)
+           b.tick
+           (html_escape (Obs.origin_name b.origin))
+           (html_escape (Obs.class_name b.cls))
+           b.pid b.addr b.len b.age)
        bs;
+     add "</table>\n");
+  (* telemetry panels: one sparkline per series *)
+  add "<h2>Telemetry (per-tick series)</h2>\n";
+  (match t.metrics with
+   | [] -> add "<p>no series were recorded</p>\n"
+   | ms ->
+     add
+       "<table><tr><th>series</th><th>kind</th><th>last</th><th>min</th><th>max</th><th>samples</th><th>trend</th></tr>";
+     List.iter
+       (fun m ->
+         let ys = List.map snd m.ms_points in
+         let last = match List.rev ys with v :: _ -> v | [] -> 0. in
+         let mn = List.fold_left min last ys and mx = List.fold_left max last ys in
+         add
+           "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td></tr>"
+           (html_escape m.ms_name) (html_escape m.ms_kind) (short_num last) (short_num mn)
+           (short_num mx) m.ms_samples (svg_sparkline m.ms_points))
+       ms;
+     add "</table>\n");
+  (* alerts *)
+  add "<h2>Alerts</h2>\n";
+  add "<table><tr><th>rule</th><th>series</th><th>condition</th></tr>";
+  List.iter
+    (fun (name, series, cond) ->
+      add "<tr><td>%s</td><td>%s</td><td>%s</td></tr>" (html_escape name)
+        (html_escape series)
+        (html_escape (Obs.Alert.describe_condition cond)))
+    t.alert_rules;
+  add "</table>\n";
+  (match t.alerts with
+   | [] -> add "<p class=\"ok\">no alerts fired</p>\n"
+   | als ->
+     add "<table><tr><th>tick</th><th>rule</th><th>series</th><th>value</th></tr>";
+     List.iter
+       (fun a ->
+         add "<tr><td>%d</td><td class=\"bad\">%s</td><td>%s</td><td>%s</td></tr>"
+           a.fired_tick (html_escape a.rule) (html_escape a.rule_series)
+           (short_num a.value))
+       als;
      add "</table>\n");
   add "</body></html>\n";
   Buffer.contents buf
@@ -373,6 +524,14 @@ let pp_summary fmt t =
       Format.fprintf fmt "  %-12s %-12s %12d@." (Obs.origin_name o) (Obs.class_name c) v)
     t.totals;
   Format.fprintf fmt "breaches: %d@." (List.length t.breaches);
+  Format.fprintf fmt "alerts fired: %d%s@." (List.length t.alerts)
+    (match t.alerts with
+     | [] -> ""
+     | als ->
+       " ("
+       ^ String.concat ", "
+           (List.sort_uniq compare (List.map (fun a -> a.rule) als))
+       ^ ")");
   Format.fprintf fmt "simulated cycles: %d (%s)@." t.cycles
     (String.concat ", "
        (List.map (fun (s, v) -> Printf.sprintf "%s %d" s v) t.cycles_by_subsystem))

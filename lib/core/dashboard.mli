@@ -23,6 +23,23 @@ type breach = {
   age : int;
 }
 
+type metric_series = {
+  ms_name : string;
+  ms_kind : string;  (** ["gauge"] / ["counter"] / ["rate"] *)
+  ms_stride : int;  (** downsampling stride at end of run (1 = lossless) *)
+  ms_samples : int;  (** samples offered, before downsampling *)
+  ms_points : (int * float) list;  (** retained (tick, value) points *)
+}
+(** One telemetry series as collected at the end of a run — a snapshot of
+    {!Obs.Timeseries} state, decoupled from the live context. *)
+
+type alert_firing = {
+  fired_tick : int;
+  rule : string;
+  rule_series : string;
+  value : float;
+}
+
 type t = {
   level : Protection.level;
   server : Timeline.server;
@@ -39,7 +56,26 @@ type t = {
   cycles : int;  (** total simulated cycles charged during the run *)
   cycles_by_subsystem : (string * int) list;
       (** per-subsystem cost breakdown, sums to [cycles] *)
+  metrics : metric_series list;  (** telemetry series, name-sorted *)
+  alert_rules : (string * string * Obs.Alert.condition) list;
+      (** installed rules as (name, series, condition), install order *)
+  alerts : alert_firing list;  (** chronological alert firings *)
 }
+
+val install_default_alerts : Obs.ctx -> unit
+(** Arm the standing SLO pack on a context: [exposure-slo] (sensitive
+    bytes outside mlocked-anon for 3 consecutive ticks), [swap-pressure]
+    (any used swap slot), and [ct-leakage] — the constant-time sentinel, a
+    zero-tolerance spread rule over [rsa.private_op.word_muls] that fires
+    if any two private operations ever charged a different word-mul
+    count.  {!run} and the fleet shards install it automatically;
+    [memguard_cli watch] exposes it standalone. *)
+
+val collect_metrics : Obs.ctx -> metric_series list
+(** Snapshot every {!Obs.Timeseries} series of a context (name-sorted). *)
+
+val collect_alerts : Obs.ctx -> alert_firing list
+(** Snapshot the chronological alert firings of a context. *)
 
 val run :
   ?level:Protection.level ->
@@ -76,7 +112,15 @@ val to_json : t -> string
 val to_html : t -> string
 (** Self-contained report: metadata table, per-origin and per-class
     exposure charts, hit-count chart, origin×class totals matrix,
-    lifetime percentiles, breach list. *)
+    lifetime percentiles, breach list, telemetry sparkline panel, and
+    alert table.  All interpolated names are HTML-escaped. *)
+
+val svg_sparkline : (int * float) list -> string
+(** Inline 160x28 SVG sparkline of one series, auto-scaled to its own
+    min/max envelope.  Shared with the fleet and watch HTML reports. *)
+
+val html_escape : string -> string
+(** Escape [<], [>] and [&] for interpolation into HTML/SVG text. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** Terminal summary: headline exposure + totals + breach count. *)

@@ -100,6 +100,79 @@ let start_plain_app t =
   Plain_app.start t.kernel_ ~key_path ~nocache:(Protection.nocache t.level_)
     (Protection.ssl_mode_plain_app t.level_)
 
+let subsystem_cycles obs sub =
+  match List.assoc_opt sub (Obs.Cost.by_subsystem obs) with Some c -> c | None -> 0
+
+(* Per-tick telemetry: sample the kernel, the exposure ledger, the scanner
+   and the cost model into well-known time series, then evaluate the alert
+   rules.  Sampling reads simulated state and writes observer state only,
+   so a series-on run stays byte-identical to a series-off run; with no
+   rules installed (the default) no event is emitted either. *)
+let sample_series t ~time ~sweep_cycles ~pages_scanned ~hits =
+  let obs = t.obs_ in
+  if Obs.enabled obs then begin
+    let record = Obs.Timeseries.record obs in
+    let counter name = Obs.Timeseries.define obs ~kind:Obs.Timeseries.Counter name in
+    let stats = Kernel.stats t.kernel_ in
+    record "kernel.free_pages" (float_of_int stats.Kernel.free_pages);
+    record "kernel.swap_slots_used" (float_of_int stats.Kernel.swap_slots_used);
+    record "kernel.page_cache_frames" (float_of_int stats.Kernel.cached_frames);
+    record "kernel.locked_frames" (float_of_int (Kernel.locked_frames t.kernel_));
+    (* exposure: cumulative byte·ticks plus derived per-tick rates — the
+       rate of the sensitive-unsafe integral is the number of sensitive
+       bytes currently outside mlocked-anon memory *)
+    counter "exposure.sensitive_unsafe_byte_ticks";
+    Obs.Timeseries.define_rate obs ~source:"exposure.sensitive_unsafe_byte_ticks"
+      "exposure.sensitive_unsafe";
+    let unsafe = ref 0 in
+    let by_class = Hashtbl.create 8 in
+    List.iter
+      (fun ((origin, cls), v) ->
+        if Obs.origin_sensitive origin && cls <> Obs.Mlocked_anon then
+          unsafe := !unsafe + v;
+        let prev = Option.value (Hashtbl.find_opt by_class cls) ~default:0 in
+        Hashtbl.replace by_class cls (prev + v))
+      (Obs.Exposure.totals obs);
+    record "exposure.sensitive_unsafe_byte_ticks" (float_of_int !unsafe);
+    List.iter
+      (fun cls ->
+        let cn = Obs.class_name cls in
+        counter ("exposure.byte_ticks." ^ cn);
+        Obs.Timeseries.define_rate obs
+          ~source:("exposure.byte_ticks." ^ cn)
+          ("exposure.rate." ^ cn);
+        record
+          ("exposure.byte_ticks." ^ cn)
+          (float_of_int (Option.value (Hashtbl.find_opt by_class cls) ~default:0)))
+      Obs.all_classes;
+    (* scanner: sweep latency in simulated cycles, coverage, cache reuse *)
+    record "scan.sweep_cycles" (float_of_int sweep_cycles);
+    record "scan.pages_swept" (float_of_int pages_scanned);
+    record "scan.hits" (float_of_int hits);
+    (match t.cache_ with
+     | Some c ->
+       let st = Scan_cache.stats c in
+       let total = st.Scan_cache.last_clean_pages + st.Scan_cache.last_pages_scanned in
+       if total > 0 then
+         record "scan.cache_hit_rate"
+           (float_of_int st.Scan_cache.last_clean_pages /. float_of_int total)
+     | None -> ());
+    (* cost model: cumulative cycles (total and per subsystem) plus
+       derived cycles-per-tick rates *)
+    counter "cost.total_cycles";
+    Obs.Timeseries.define_rate obs ~source:"cost.total_cycles" "cost.cycles_per_tick";
+    record "cost.total_cycles" (float_of_int (Obs.Cost.total_cycles obs));
+    List.iter
+      (fun (sub, cycles) ->
+        counter ("cost.cycles." ^ sub);
+        Obs.Timeseries.define_rate obs
+          ~source:("cost.cycles." ^ sub)
+          ("cost.cycles_per_tick." ^ sub);
+        record ("cost.cycles." ^ sub) (float_of_int cycles))
+      (Obs.Cost.by_subsystem obs);
+    Obs.Alert.eval obs ~tick:time
+  end
+
 let scan t ~time =
   let obs = t.obs_ in
   let mode = mode_name t.scan_mode_ in
@@ -112,6 +185,7 @@ let scan t ~time =
   (* wall-clock only feeds the metrics histogram; nothing in the simulation
      reads it, so determinism is untouched *)
   let t0 = if Obs.enabled obs then Unix.gettimeofday () else 0.0 in
+  let sweep_cycles0 = subsystem_cycles obs "scan" in
   let num_pages = Memguard_vmm.Phys_mem.num_pages (Kernel.mem t.kernel_) in
   let hits, pages_scanned =
     match t.scan_mode_ with
@@ -144,6 +218,9 @@ let scan t ~time =
   Obs.Metrics.incr obs ~by:(List.length hits) "scan.hits";
   Obs.Trace.emit obs
     (Obs.Scan_finished { mode; hits = List.length hits; pages_scanned });
+  sample_series t ~time
+    ~sweep_cycles:(subsystem_cycles obs "scan" - sweep_cycles0)
+    ~pages_scanned ~hits:(List.length hits);
   Report.of_hits ~obs ~time hits
 
 let scan_stats t = Option.map Scan_cache.stats t.cache_

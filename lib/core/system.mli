@@ -80,7 +80,11 @@ val scan : t -> time:int -> Memguard_scan.Report.snapshot
     the scan also sets the trace tick to [time], emits
     [Scan_started]/[Scan_finished] events, updates the [scan.*] counters
     and wall-time histograms, and annotates each hit with its provenance
-    (see {!Memguard_scan.Report}). *)
+    (see {!Memguard_scan.Report}).  It also samples the per-tick telemetry
+    series — kernel memory pressure ([kernel.*]), exposure byte·tick
+    integrals and rates ([exposure.*]), sweep latency and cache reuse
+    ([scan.*]), cycle spend by subsystem ([cost.*]) — and then evaluates
+    the installed alert rules ([Memguard_obs.Obs.Alert.eval]). *)
 
 val scan_stats : t -> Memguard_scan.Scan_cache.stats option
 (** Hit/miss statistics of the incremental scan cache; [None] until the

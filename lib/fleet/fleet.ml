@@ -53,6 +53,8 @@ type shard_result = {
   counters : (string * int) list;
   cycles : int;
   cycles_by_subsystem : (string * int) list;
+  metrics : Dashboard.metric_series list;
+  alerts : Dashboard.alert_firing list;
   events : event list;
   connections : int;
   requests : int;
@@ -85,6 +87,7 @@ let run_shard cfg shard_id =
   (match cfg.breach_age with
    | Some age -> Obs.Exposure.set_breach_age obs (Some age)
    | None -> ());
+  Dashboard.install_default_alerts obs;
   let rng = derive_rng cfg shard_id in
   let sys =
     System.create ~num_pages:cfg.num_pages ~level:cfg.level ~rng
@@ -126,6 +129,8 @@ let run_shard cfg shard_id =
     counters;
     cycles = Obs.Cost.total_cycles obs;
     cycles_by_subsystem = Obs.Cost.by_subsystem obs;
+    metrics = Dashboard.collect_metrics obs;
+    alerts = Dashboard.collect_alerts obs;
     events;
     connections = counter "sshd.connections" + counter "apache.connections";
     requests = counter "sshd.requests" + counter "apache.requests"
@@ -186,6 +191,59 @@ let merge_lifetimes shards =
           (fun s -> try List.assoc o s.lifetimes with Not_found -> [])
           shards ))
     Obs.all_origins
+
+(* Merge telemetry shard-wise: all shards sample on the same tick grid, so
+   per series we sum values at equal ticks (gauges become fleet-wide
+   totals, counters fleet-wide integrals).  Kind comes from the first
+   shard carrying the series; stride is the coarsest seen; sample counts
+   add up.  The fold order is the shard order, never the domain
+   schedule — the merged list is deterministic. *)
+let merge_metrics shards =
+  let names =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun s -> List.map (fun m -> m.Dashboard.ms_name) s.metrics)
+         shards)
+  in
+  List.map
+    (fun name ->
+      let inst =
+        List.filter_map
+          (fun s ->
+            List.find_opt (fun m -> m.Dashboard.ms_name = name) s.metrics)
+          shards
+      in
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun m ->
+          List.iter
+            (fun (tick, v) ->
+              let cur = Option.value (Hashtbl.find_opt tbl tick) ~default:0. in
+              Hashtbl.replace tbl tick (cur +. v))
+            m.Dashboard.ms_points)
+        inst;
+      let points =
+        Hashtbl.fold (fun tick v acc -> (tick, v) :: acc) tbl [] |> List.sort compare
+      in
+      { Dashboard.ms_name = name;
+        ms_kind =
+          (match inst with m :: _ -> m.Dashboard.ms_kind | [] -> "gauge");
+        ms_stride =
+          List.fold_left (fun acc m -> max acc m.Dashboard.ms_stride) 1 inst;
+        ms_samples =
+          List.fold_left (fun acc m -> acc + m.Dashboard.ms_samples) 0 inst;
+        ms_points = points
+      })
+    names
+
+(* firings ordered by (tick, shard, rule): chronological, shard-stable *)
+let merge_alerts shards =
+  List.concat_map
+    (fun s -> List.map (fun a -> (s.shard_id, a)) s.alerts)
+    shards
+  |> List.sort (fun (sa, (a : Dashboard.alert_firing)) (sb, b) ->
+         compare (a.Dashboard.fired_tick, sa, a.Dashboard.rule)
+           (b.Dashboard.fired_tick, sb, b.Dashboard.rule))
 
 let sensitive_unsafe_of totals =
   List.fold_left
@@ -262,7 +320,13 @@ let dashboard r =
                (b.Dashboard.tick, b.Dashboard.pid, b.Dashboard.addr));
     counters = merge_assoc (List.map (fun s -> s.counters) shards);
     cycles = r.total_cycles;
-    cycles_by_subsystem = merge_assoc (List.map (fun s -> s.cycles_by_subsystem) shards)
+    cycles_by_subsystem = merge_assoc (List.map (fun s -> s.cycles_by_subsystem) shards);
+    metrics = merge_metrics shards;
+    alert_rules =
+      (let obs = Obs.create () in
+       Dashboard.install_default_alerts obs;
+       Obs.Alert.rules obs);
+    alerts = List.map snd (merge_alerts shards)
   }
 
 let inspect_shard cfg ~shard ~tick =
@@ -338,6 +402,32 @@ let to_json r =
       add (Printf.sprintf "    {\"name\": \"%s\", \"value\": %d}" k v))
     counters;
   add "\n  ],\n";
+  add "  \"timeseries\": [\n";
+  List.iteri
+    (fun i (m : Dashboard.metric_series) ->
+      if i > 0 then add ",\n";
+      add
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"kind\": \"%s\", \"stride\": %d, \"samples\": %d, \"points\": [%s]}"
+           m.Dashboard.ms_name m.Dashboard.ms_kind m.Dashboard.ms_stride
+           m.Dashboard.ms_samples
+           (String.concat ","
+              (List.map
+                 (fun (tick, v) -> Printf.sprintf "[%d,%s]" tick (Obs.float_json v))
+                 m.Dashboard.ms_points))))
+    (merge_metrics r.shard_results);
+  add "\n  ],\n";
+  add "  \"alerts\": [\n";
+  List.iteri
+    (fun i (shard, (a : Dashboard.alert_firing)) ->
+      if i > 0 then add ",\n";
+      add
+        (Printf.sprintf
+           "    {\"tick\": %d, \"shard\": %d, \"rule\": \"%s\", \"series\": \"%s\", \"value\": %s}"
+           a.Dashboard.fired_tick shard a.Dashboard.rule a.Dashboard.rule_series
+           (Obs.float_json a.Dashboard.value)))
+    (merge_alerts r.shard_results);
+  add "\n  ],\n";
   add "  \"copies_by_tick\": [\n";
   List.iteri
     (fun i (sn : Report.snapshot) ->
@@ -373,14 +463,16 @@ let to_html r =
       add
         (Printf.sprintf
            "<tr><td>%d</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n"
-           s.shard_id (server_name s.server) s.connections s.requests s.cycles
+           s.shard_id
+           (Dashboard.html_escape (server_name s.server))
+           s.connections s.requests s.cycles
            (sensitive_unsafe_of s.totals)))
     r.shard_results;
   add
     (Printf.sprintf
        "<tr><th>total</th><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr></table>\n"
-       (mix_name r.config.mix) r.total_connections r.total_requests r.total_cycles
-       r.sensitive_unsafe);
+       (Dashboard.html_escape (mix_name r.config.mix))
+       r.total_connections r.total_requests r.total_cycles r.sensitive_unsafe);
   let html = Dashboard.to_html (dashboard r) in
   (* splice the fleet table right under the dashboard's <h1>; if the
      anchor ever changes just prepend instead of failing *)

@@ -69,6 +69,10 @@ type shard_result = {
   counters : (string * int) list;
   cycles : int;
   cycles_by_subsystem : (string * int) list;
+  metrics : Memguard.Dashboard.metric_series list;
+      (** the shard's telemetry series (kernel/exposure/scan/cost/rsa) *)
+  alerts : Memguard.Dashboard.alert_firing list;
+      (** firings of the default alert pack on this shard *)
   events : event list;
   connections : int;  (** sshd + apache connections opened on this shard *)
   requests : int;
@@ -115,7 +119,8 @@ val inspect_shard : config -> shard:int -> tick:int -> string
 
 val to_json : report -> string
 (** Canonical machine-readable report: config, per-shard summaries,
-    merged totals and the merged event stream.  Deterministic — contains
+    merged totals, merged telemetry series, alert firings (tagged with
+    their shard) and the merged event stream.  Deterministic — contains
     no wall-clock times, hashes or addresses of OCaml values — so equal
     fleets render equal bytes; {!fingerprint} digests it. *)
 

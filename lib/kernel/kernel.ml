@@ -633,6 +633,13 @@ let stats t =
     swap_slots_used = (match t.swap with Some sw -> Swap.used_slots sw | None -> 0)
   }
 
+let locked_frames t =
+  let n = ref 0 in
+  for pfn = 0 to Phys_mem.num_pages t.mem - 1 do
+    if (Phys_mem.page t.mem pfn).Page.locked then incr n
+  done;
+  !n
+
 let check_invariants t =
   match Buddy.check_invariants t.buddy with
   | Error e -> Error ("buddy: " ^ e)

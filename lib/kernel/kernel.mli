@@ -180,6 +180,11 @@ type stats = {
 
 val stats : t -> stats
 
+val locked_frames : t -> int
+(** Frames whose descriptor carries the mlock flag — the size of the
+    never-swapped pool the countermeasures pin key material into.
+    Sampled per tick into the ["kernel.locked_frames"] series. *)
+
 val check_invariants : t -> (unit, string) result
 (** For tests: frame refcounts equal the number of PTEs referencing each
     frame; buddy invariants hold; no PTE points at a free frame. *)

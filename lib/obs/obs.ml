@@ -66,8 +66,16 @@ type event =
       len : int;
       age : int;
     }
+  | Alert_fired of { rule : string; series : string; value : float }
 
 type record = { seq : int; tick : int; event : event }
+
+(* Floats in exports print as integers when they are integral: series
+   values are mostly exact counts, and the fixed form keeps canonical
+   JSON (and thus fleet fingerprints) byte-stable. *)
+let float_json f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
 
 type info = { origin : origin; pid : int; birth_tick : int }
 
@@ -112,6 +120,55 @@ type cost_model = {
   mont_word_mul : int;
   scan_byte : int;
 }
+
+(* ---- per-tick metric time series (see Timeseries below) ---- *)
+
+type series_kind = Gauge | Counter
+
+(* A fixed-capacity series: retained points live oldest-first in the
+   [s_ticks]/[s_vals] prefix of length [s_len].  When the buffer fills,
+   every other point is dropped and the acceptance stride doubles, so a
+   long run ages into a coarser — but still full-span — history.
+   [s_last_*]/[s_prev_*] always track the newest two *offered* samples
+   (independent of retention) and [s_min]/[s_max] the all-time envelope,
+   so rate and spread predicates never lose resolution to downsampling. *)
+type series = {
+  s_name : string;
+  s_kind : series_kind;
+  s_source : string option;  (* [Some src]: per-tick rate derived from [src] *)
+  s_cap : int;
+  s_ticks : int array;
+  s_vals : float array;
+  mutable s_len : int;
+  mutable s_stride : int;
+  mutable s_seen : int;
+  mutable s_last_tick : int;
+  mutable s_last_val : float;
+  mutable s_prev_tick : int;
+  mutable s_prev_val : float;
+  mutable s_min : float;
+  mutable s_max : float;
+}
+
+(* ---- declarative alert rules (see Alert below) ---- *)
+
+type alert_cmp = Gt | Ge | Lt | Le
+
+type alert_condition =
+  | Threshold of { cmp : alert_cmp; value : float; for_ticks : int }
+  | Rate of { cmp : alert_cmp; per_tick : float }
+  | Window_spread of { window : int; min_spread : float }
+
+type alert_rule = {
+  a_name : string;
+  a_series : string;
+  a_cond : alert_condition;
+  mutable a_held : int;
+  mutable a_active : bool;
+  mutable a_fired : int;
+}
+
+type firing = { f_tick : int; f_rule : string; f_series : string; f_value : float }
 
 (* ---- hierarchical span profiler (see Profiler below) ---- *)
 
@@ -181,6 +238,11 @@ type ctx = {
   mutable prof_stack_ : span_frame list;  (* innermost first *)
   mutable spans_ : span list;  (* completed, newest first *)
   mutable span_seq_ : int;
+  (* time series & alerts *)
+  series_ : (string, series) Hashtbl.t;
+  mutable derived_ : (string * string) list;  (* (source, derived name) *)
+  mutable rules_ : alert_rule list;  (* install order *)
+  mutable firings_ : firing list;  (* newest first *)
 }
 
 (* One simulated cycle is one byte moved by the CPU; everything else is
@@ -236,7 +298,11 @@ let make ~enabled ~capacity =
     prof_root_ = make_span_root ();
     prof_stack_ = [];
     spans_ = [];
-    span_seq_ = 0
+    span_seq_ = 0;
+    series_ = Hashtbl.create 32;
+    derived_ = [];
+    rules_ = [];
+    firings_ = []
   }
 
 let null = make ~enabled:false ~capacity:0
@@ -306,12 +372,15 @@ module Trace = struct
       ("exposure_breach",
        [ ("origin", `S (origin_name origin)); ("class", `S (class_name cls));
          ("pid", `I pid); ("addr", `I addr); ("len", `I len); ("age", `I age) ])
+    | Alert_fired { rule; series; value } ->
+      ("alert_fired", [ ("rule", `S rule); ("series", `S series); ("value", `F value) ])
 
   let json_field (k, v) =
     match v with
     | `S s -> Printf.sprintf "%S:%S" k s
     | `I i -> Printf.sprintf "%S:%d" k i
     | `B b -> Printf.sprintf "%S:%b" k b
+    | `F f -> Printf.sprintf "%S:%s" k (float_json f)
 
   let jsonl_of_record r =
     let name, fields = fields_of_event r.event in
@@ -977,5 +1046,328 @@ module Profiler = struct
              s.sname s.sstart (s.send - s.sstart) s.spid s.spid s.sdepth))
       ss;
     Buffer.add_string buf "\n]\n";
+    Buffer.contents buf
+end
+
+(* ---- per-tick metric time series ---- *)
+
+module Timeseries = struct
+  type kind = series_kind = Gauge | Counter
+
+  let default_capacity = 512
+
+  let kind_name = function Gauge -> "gauge" | Counter -> "counter"
+
+  let make_series ~name ~kind ~source ~cap =
+    let cap = max 8 cap in
+    { s_name = name;
+      s_kind = kind;
+      s_source = source;
+      s_cap = cap;
+      s_ticks = Array.make cap 0;
+      s_vals = Array.make cap 0.;
+      s_len = 0;
+      s_stride = 1;
+      s_seen = 0;
+      s_last_tick = 0;
+      s_last_val = 0.;
+      s_prev_tick = 0;
+      s_prev_val = 0.;
+      s_min = infinity;
+      s_max = neg_infinity
+    }
+
+  let define ctx ?(kind = Gauge) ?(capacity = default_capacity) name =
+    if ctx.enabled_ && not (Hashtbl.mem ctx.series_ name) then
+      Hashtbl.replace ctx.series_ name (make_series ~name ~kind ~source:None ~cap:capacity)
+
+  let define_rate ctx ~source name =
+    if ctx.enabled_ && not (Hashtbl.mem ctx.series_ name) then begin
+      Hashtbl.replace ctx.series_ name
+        (make_series ~name ~kind:Gauge ~source:(Some source) ~cap:default_capacity);
+      ctx.derived_ <- ctx.derived_ @ [ (source, name) ]
+    end
+
+  (* Halve the resolution in place: keep every other retained point
+     (oldest first) and double the acceptance stride, so a full buffer
+     ages into a coarser history instead of dropping its tail. *)
+  let downsample s =
+    let kept = ref 0 in
+    let i = ref 0 in
+    while !i < s.s_len do
+      s.s_ticks.(!kept) <- s.s_ticks.(!i);
+      s.s_vals.(!kept) <- s.s_vals.(!i);
+      incr kept;
+      i := !i + 2
+    done;
+    s.s_len <- !kept;
+    s.s_stride <- s.s_stride * 2
+
+  let offer ctx s v =
+    let t = ctx.tick_ in
+    if s.s_seen = 0 then begin
+      s.s_prev_tick <- t;
+      s.s_prev_val <- v
+    end
+    else begin
+      s.s_prev_tick <- s.s_last_tick;
+      s.s_prev_val <- s.s_last_val
+    end;
+    if s.s_seen mod s.s_stride = 0 then begin
+      if s.s_len = s.s_cap then downsample s;
+      s.s_ticks.(s.s_len) <- t;
+      s.s_vals.(s.s_len) <- v;
+      s.s_len <- s.s_len + 1
+    end;
+    s.s_seen <- s.s_seen + 1;
+    s.s_last_tick <- t;
+    s.s_last_val <- v;
+    if v < s.s_min then s.s_min <- v;
+    if v > s.s_max then s.s_max <- v
+
+  (* Recording into an undefined series auto-defines a gauge, so sampling
+     sites need no registration step.  A record on a source series also
+     appends the per-tick rate to every derived series pointing at it. *)
+  let rec record ctx name v =
+    if ctx.enabled_ then begin
+      let s =
+        match Hashtbl.find_opt ctx.series_ name with
+        | Some s -> s
+        | None ->
+          let s = make_series ~name ~kind:Gauge ~source:None ~cap:default_capacity in
+          Hashtbl.replace ctx.series_ name s;
+          s
+      in
+      let had = s.s_seen > 0 in
+      let prev_tick = s.s_last_tick and prev_val = s.s_last_val in
+      offer ctx s v;
+      List.iter
+        (fun (src, dname) ->
+          if src = name then begin
+            let dt = if had then ctx.tick_ - prev_tick else 0 in
+            let rate = if dt > 0 then (v -. prev_val) /. float_of_int dt else 0. in
+            record ctx dname rate
+          end)
+        ctx.derived_
+    end
+
+  let find ctx name = Hashtbl.find_opt ctx.series_ name
+
+  let names ctx =
+    Hashtbl.fold (fun k _ acc -> k :: acc) ctx.series_ [] |> List.sort compare
+
+  let points ctx name =
+    match find ctx name with
+    | None -> []
+    | Some s -> List.init s.s_len (fun i -> (s.s_ticks.(i), s.s_vals.(i)))
+
+  let last ctx name =
+    match find ctx name with
+    | Some s when s.s_seen > 0 -> Some (s.s_last_tick, s.s_last_val)
+    | _ -> None
+
+  let sample_count ctx name = match find ctx name with Some s -> s.s_seen | None -> 0
+  let retained ctx name = match find ctx name with Some s -> s.s_len | None -> 0
+  let stride ctx name = match find ctx name with Some s -> s.s_stride | None -> 1
+
+  let spread ctx name =
+    match find ctx name with
+    | Some s when s.s_seen > 0 -> s.s_max -. s.s_min
+    | _ -> 0.
+
+  let kind ctx name = Option.map (fun s -> s.s_kind) (find ctx name)
+  let source ctx name = Option.bind (find ctx name) (fun s -> s.s_source)
+
+  (* derived series carry their own export tag: a rate is stored as a
+     gauge but must not masquerade as an independent measurement *)
+  let export_kind s =
+    match s.s_source with Some _ -> "rate" | None -> kind_name s.s_kind
+
+  let prom_name name =
+    let b = Buffer.create (String.length name + 9) in
+    Buffer.add_string b "memguard_";
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+        | _ -> Buffer.add_char b '_')
+      name;
+    Buffer.contents b
+
+  (* Prometheus text exposition: the last offered value of every series,
+     timestamped with its simulation tick. *)
+  let to_prometheus ctx =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun name ->
+        match find ctx name with
+        | Some s when s.s_seen > 0 ->
+          let pn = prom_name name in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" pn (kind_name s.s_kind));
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s %d\n" pn (float_json s.s_last_val) s.s_last_tick)
+        | _ -> ())
+      (names ctx);
+    Buffer.contents buf
+
+  (* Canonical JSON: name-sorted array of series with their retained
+     points — the merge unit for fleet reports and the dashboard twin. *)
+  let to_json ctx =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "[";
+    let first = ref true in
+    List.iter
+      (fun name ->
+        match find ctx name with
+        | None -> ()
+        | Some s ->
+          Buffer.add_string buf (if !first then "\n " else ",\n ");
+          first := false;
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":%S,\"kind\":%S,\"stride\":%d,\"samples\":%d,\"points\":["
+               s.s_name (export_kind s) s.s_stride s.s_seen);
+          for j = 0 to s.s_len - 1 do
+            if j > 0 then Buffer.add_string buf ",";
+            Buffer.add_string buf
+              (Printf.sprintf "[%d,%s]" s.s_ticks.(j) (float_json s.s_vals.(j)))
+          done;
+          Buffer.add_string buf "]}")
+      (names ctx);
+    Buffer.add_string buf "\n]";
+    Buffer.contents buf
+end
+
+(* ---- declarative alert rules ---- *)
+
+module Alert = struct
+  type cmp = alert_cmp = Gt | Ge | Lt | Le
+
+  type condition = alert_condition =
+    | Threshold of { cmp : cmp; value : float; for_ticks : int }
+    | Rate of { cmp : cmp; per_tick : float }
+    | Window_spread of { window : int; min_spread : float }
+
+  let cmp_name = function Gt -> ">" | Ge -> ">=" | Lt -> "<" | Le -> "<="
+
+  let holds cmp v w =
+    match cmp with Gt -> v > w | Ge -> v >= w | Lt -> v < w | Le -> v <= w
+
+  let install ctx ~name ~series cond =
+    if ctx.enabled_ && not (List.exists (fun r -> r.a_name = name) ctx.rules_) then
+      ctx.rules_ <-
+        ctx.rules_
+        @ [ { a_name = name;
+              a_series = series;
+              a_cond = cond;
+              a_held = 0;
+              a_active = false;
+              a_fired = 0
+            }
+          ]
+
+  let rules ctx = List.map (fun r -> (r.a_name, r.a_series, r.a_cond)) ctx.rules_
+
+  let describe_condition = function
+    | Threshold { cmp; value; for_ticks } ->
+      Printf.sprintf "%s %s for %d tick%s" (cmp_name cmp) (float_json value) for_ticks
+        (if for_ticks = 1 then "" else "s")
+    | Rate { cmp; per_tick } ->
+      Printf.sprintf "rate %s %s/tick" (cmp_name cmp) (float_json per_tick)
+    | Window_spread { window; min_spread } ->
+      if window <= 0 then Printf.sprintf "spread >= %s all-time" (float_json min_spread)
+      else
+        Printf.sprintf "spread >= %s over %d ticks" (float_json min_spread) window
+
+  (* Evaluate every rule against its series, once per tick (called by
+     [System.scan] after sampling).  Rules are edge-triggered: a rule
+     fires once when its condition becomes true (for [Threshold], once the
+     condition has held [for_ticks] consecutive evaluations) and re-arms
+     only after the condition goes false again.  Firing appends to the
+     firing log and emits [Alert_fired] into the event ring — observer
+     state only, fully deterministic. *)
+  let eval ctx ~tick =
+    if ctx.enabled_ then
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt ctx.series_ r.a_series with
+          | None -> ()
+          | Some s when s.s_seen = 0 -> ()
+          | Some s ->
+            let fire value =
+              r.a_fired <- r.a_fired + 1;
+              ctx.firings_ <-
+                { f_tick = tick; f_rule = r.a_name; f_series = r.a_series; f_value = value }
+                :: ctx.firings_;
+              Trace.emit ctx (Alert_fired { rule = r.a_name; series = r.a_series; value })
+            in
+            (match r.a_cond with
+             | Threshold { cmp; value; for_ticks } ->
+               if holds cmp s.s_last_val value then begin
+                 r.a_held <- r.a_held + 1;
+                 if r.a_held >= for_ticks && not r.a_active then begin
+                   r.a_active <- true;
+                   fire s.s_last_val
+                 end
+               end
+               else begin
+                 r.a_held <- 0;
+                 r.a_active <- false
+               end
+             | Rate { cmp; per_tick } ->
+               let dt = s.s_last_tick - s.s_prev_tick in
+               let rate =
+                 if dt > 0 then (s.s_last_val -. s.s_prev_val) /. float_of_int dt else 0.
+               in
+               if holds cmp rate per_tick then begin
+                 if not r.a_active then begin
+                   r.a_active <- true;
+                   fire rate
+                 end
+               end
+               else r.a_active <- false
+             | Window_spread { window; min_spread } ->
+               let lo = ref infinity and hi = ref neg_infinity in
+               if window <= 0 then begin
+                 lo := s.s_min;
+                 hi := s.s_max
+               end
+               else
+                 for j = 0 to s.s_len - 1 do
+                   if s.s_ticks.(j) > tick - window then begin
+                     if s.s_vals.(j) < !lo then lo := s.s_vals.(j);
+                     if s.s_vals.(j) > !hi then hi := s.s_vals.(j)
+                   end
+                 done;
+               let spread = if !hi >= !lo then !hi -. !lo else 0. in
+               if spread >= min_spread then begin
+                 if not r.a_active then begin
+                   r.a_active <- true;
+                   fire spread
+                 end
+               end
+               else r.a_active <- false))
+        ctx.rules_
+
+  let firings ctx =
+    List.rev_map (fun f -> (f.f_tick, f.f_rule, f.f_series, f.f_value)) ctx.firings_
+
+  let fired ctx name =
+    match List.find_opt (fun r -> r.a_name = name) ctx.rules_ with
+    | Some r -> r.a_fired
+    | None -> 0
+
+  (* Canonical JSON: the firing log, chronological. *)
+  let to_json ctx =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "[";
+    List.iteri
+      (fun i (tick, rule, series, value) ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf
+          (Printf.sprintf "{\"tick\":%d,\"rule\":%S,\"series\":%S,\"value\":%s}" tick rule
+             series (float_json value)))
+      (firings ctx);
+    Buffer.add_string buf "\n]";
     Buffer.contents buf
 end

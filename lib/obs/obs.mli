@@ -62,6 +62,11 @@ val class_name : mem_class -> string
 
 val all_classes : mem_class list
 
+val float_json : float -> string
+(** Deterministic float formatting for canonical exports: integral values
+    print with no fraction or exponent ([4096.] -> ["4096"]), the rest as
+    ["%.6g"].  Every JSON renderer that feeds a fingerprint shares it. *)
+
 (** Typed lifecycle events.  Addresses are {e physical} (or swap-device
     offsets for {!Swap_out}); a virtually contiguous buffer that spans
     frames emits one event per physical chunk. *)
@@ -92,6 +97,10 @@ type event =
           the configured age (see {!Exposure.set_breach_age}).  Emitted
           once per interval chunk, at the first {!Exposure.advance} whose
           age reaches the limit. *)
+  | Alert_fired of { rule : string; series : string; value : float }
+      (** A declarative alert rule (see {!Alert.install}) fired: its
+          condition over [series] became true at this tick.  [value] is
+          the observed value/rate/spread that crossed the rule. *)
 
 type record = { seq : int; tick : int; event : event }
 (** [seq] is a global monotone counter, [tick] the simulation time last
@@ -448,4 +457,137 @@ module Profiler : sig
       [dur] = cycles spent inside, [pid] and [tid] = the simulated
       process id (so spans nest under their process row), [args.depth] =
       stack depth at enter. *)
+end
+
+(** Per-tick metric time series: how exposure, memory pressure, scan
+    latency and cycle spend {e evolve} over a run, not just their end-of-
+    run aggregates.
+
+    Each series is a fixed-capacity buffer of [(tick, value)] points.
+    When it fills, every other retained point is dropped and the
+    acceptance stride doubles (1, 2, 4, ...), so an arbitrarily long run
+    keeps a full-span history at geometrically decaying resolution.  The
+    newest two offered samples and the all-time min/max envelope are
+    tracked at full resolution regardless, so {!Alert} rate and spread
+    predicates never alias.  [System.scan] samples the kernel, the
+    exposure ledger, the scanner and the cost model into well-known
+    series once per tick; any subsystem may {!record} its own.  Recording
+    mutates observer state only — series-on runs stay byte-identical to
+    series-off runs. *)
+module Timeseries : sig
+  (** [Counter] marks cumulative series (monotone, rate-able); [Gauge] is
+      an instantaneous level.  The kind only affects labeling (and the
+      Prometheus [# TYPE] line) — storage is identical. *)
+  type kind = Gauge | Counter
+
+  val default_capacity : int
+  (** Retained points per series before downsampling kicks in ([512]). *)
+
+  val kind_name : kind -> string
+  (** ["gauge"] / ["counter"]. *)
+
+  val define : ctx -> ?kind:kind -> ?capacity:int -> string -> unit
+  (** Declare a series (idempotent; no-op when disabled).  Recording into
+      an undeclared name auto-defines a default-capacity gauge, so
+      [define] is only needed for non-default kind or capacity. *)
+
+  val define_rate : ctx -> source:string -> string -> unit
+  (** Declare a {e derived} series: every sample offered to [source]
+      appends [(v - prev) / (tick - prev_tick)] to this series (0 when
+      the source has no previous sample or time has not advanced).  The
+      standard way to turn a cumulative counter into a per-tick rate. *)
+
+  val record : ctx -> string -> float -> unit
+  (** Offer a sample at the current {!tick}.  Multiple samples on one
+      tick are all offered (the sentinel records one per private_op). *)
+
+  val names : ctx -> string list
+  (** Defined series names, sorted. *)
+
+  val points : ctx -> string -> (int * float) list
+  (** Retained points, oldest first ([[]] if unknown). *)
+
+  val last : ctx -> string -> (int * float) option
+  (** Newest offered sample, independent of retention. *)
+
+  val sample_count : ctx -> string -> int
+  (** Total samples offered (deterministic — the bench gate pins it). *)
+
+  val retained : ctx -> string -> int
+  (** Points currently held (<= capacity). *)
+
+  val stride : ctx -> string -> int
+  (** Current acceptance stride (doubles at each downsampling). *)
+
+  val spread : ctx -> string -> float
+  (** All-time [max - min] over offered samples ([0.] with <= 1 sample).
+      The leakage sentinel's "zero variance" is [spread = 0]. *)
+
+  val kind : ctx -> string -> kind option
+
+  val source : ctx -> string -> string option
+  (** [Some src] when the series is a derived per-tick rate of [src]
+      (see {!define_rate}); [None] for directly recorded series.  JSON
+      exports tag such series with kind ["rate"]. *)
+
+  val to_prometheus : ctx -> string
+  (** Prometheus-style text exposition: a [# TYPE] line plus
+      [memguard_<sanitized_name> <last_value> <tick>] per series. *)
+
+  val to_json : ctx -> string
+  (** Canonical JSON array (name-sorted) of
+      [{"name", "kind", "stride", "samples", "points": [[tick, v], ...]}]
+      — the merge unit for fleet reports. *)
+end
+
+(** Declarative SLO alerting over {!Timeseries}.
+
+    A rule names a series and a condition; [System.scan] calls {!eval}
+    once per tick after sampling.  Rules are edge-triggered: a rule fires
+    once when its condition becomes true and re-arms only after it goes
+    false, so a sustained violation produces one deterministic
+    {!Alert_fired} event, not one per tick.  Evaluation mutates observer
+    state only. *)
+module Alert : sig
+  type cmp = Gt | Ge | Lt | Le
+
+  type condition =
+    | Threshold of { cmp : cmp; value : float; for_ticks : int }
+        (** the last sample compares true against [value] for [for_ticks]
+            consecutive evaluations (e.g. [sensitive_unsafe > 0 for 3]) *)
+    | Rate of { cmp : cmp; per_tick : float }
+        (** the per-tick rate between the two newest offered samples
+            compares true against [per_tick] *)
+    | Window_spread of { window : int; min_spread : float }
+        (** [max - min >= min_spread] over the retained points of the
+            last [window] ticks — all-time envelope when [window <= 0].
+            With [min_spread = 1.] on a cycle-count series this is the
+            constant-time leakage sentinel: any variance fires. *)
+
+  val cmp_name : cmp -> string
+  (** [">"], [">="], ["<"], ["<="]. *)
+
+  val install : ctx -> name:string -> series:string -> condition -> unit
+  (** Add a rule (idempotent per [name]; no-op when disabled).  No rules
+      are installed by default — an unconfigured run never fires. *)
+
+  val rules : ctx -> (string * string * condition) list
+  (** Installed rules in install order as [(name, series, condition)]. *)
+
+  val describe_condition : condition -> string
+  (** Human-readable condition, e.g. ["> 0 for 3 ticks"]. *)
+
+  val eval : ctx -> tick:int -> unit
+  (** Evaluate every rule at [tick].  Rules over series with no samples
+      yet are skipped. *)
+
+  val firings : ctx -> (int * string * string * float) list
+  (** The firing log, chronological, as [(tick, rule, series, value)]. *)
+
+  val fired : ctx -> string -> int
+  (** Times the named rule has fired ([0] if unknown). *)
+
+  val to_json : ctx -> string
+  (** Canonical JSON array of
+      [{"tick", "rule", "series", "value"}], chronological. *)
 end

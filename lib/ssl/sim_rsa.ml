@@ -74,7 +74,14 @@ let private_op k proc t c =
   let m2 = Bn.mod_pow ~base:c ~exp:dq ~modulus:q in
   let h = Bn.rem (Bn.mul qinv (Bn.sub m1 m2)) p in
   let result = Bn.add m2 (Bn.mul h q) in
-  Obs.Cost.charge obs ~sub:"bignum" Mont_word_mul (Bn.Mont.word_muls () - muls_before);
+  let muls = Bn.Mont.word_muls () - muls_before in
+  Obs.Cost.charge obs ~sub:"bignum" Mont_word_mul muls;
+  (* One sample per op: the fixed-window Montgomery kernels make this a
+     function of the modulus limb count alone, so the constant-time
+     leakage sentinel (a zero-spread alert over this series) can assert
+     secret-independence of the charged cost — any variance across ops,
+     or across same-size keys, fires. *)
+  Obs.Timeseries.record obs "rsa.private_op.word_muls" (float_of_int muls);
   Obs.Metrics.incr obs "rsa.private_ops";
   (* BN_CTX temporaries: reduced intermediates (not key parts) that are
      freed WITHOUT zeroing — realistic allocator churn in the heap.  The

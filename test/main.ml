@@ -27,5 +27,6 @@ let () =
          Test_misc_extra.suite;
          Test_fault.suite;
         Test_fleet.suite;
+         Test_telemetry.suite;
          Test_final.suite
        ])
