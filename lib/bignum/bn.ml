@@ -352,14 +352,126 @@ let mod_pow_plain ~base:b ~exp ~modulus =
   done;
   !result
 
+(* ---- branchless fixed-width limb primitives (constant-time core) ----
+
+   Everything below operates on little-endian limb arrays of a fixed,
+   caller-chosen width and executes the same instruction and memory-access
+   sequence regardless of limb values: no data-dependent branches, no
+   data-dependent indices, no early exits.  Secrets steer the computation
+   only through arithmetic masks ([ct_mask]).  [Mont] builds its kernels
+   on these, and the public [Ct] module further down wraps them over [t]
+   values for the differential test suite and the constant-shape CRT path.
+
+   The limb-traffic counter is the second leg of the leakage sentinel:
+   every primitive advances it by a pure function of the width, so the
+   per-op delta sampled by Sim_rsa.private_op must show zero spread
+   across keys and exponent bit patterns, exactly like word_muls. *)
+
+let ct_traffic_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let ct_traffic_ () = Domain.DLS.get ct_traffic_key
+
+(* all-ones native-int mask from a condition bit *)
+let ct_mask bit = -(bit land 1)
+
+(* dst.(i) <- if bit then a.(i) else b.(i), fixed full-width sweep *)
+let ct_select_raw ~k bit a b dst =
+  let tc = ct_traffic_ () in
+  tc := !tc + k;
+  let m = ct_mask bit in
+  for i = 0 to k - 1 do
+    dst.(i) <- (a.(i) land m) lor (b.(i) land lnot m)
+  done
+
+(* dst <- (a + b) mod base^k; returns the carry bit *)
+let ct_add_raw ~k a b dst =
+  let tc = ct_traffic_ () in
+  tc := !tc + k;
+  let carry = ref 0 in
+  for i = 0 to k - 1 do
+    let s = a.(i) + b.(i) + !carry in
+    dst.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  !carry
+
+(* dst <- (a - b) mod base^k; returns the borrow bit.  A negative step
+   already holds the mod-base residue in its low limb_bits (two's
+   complement), and its arithmetic shift is all-ones, so the borrow
+   propagates without a sign test. *)
+let ct_sub_raw ~k a b dst =
+  let tc = ct_traffic_ () in
+  tc := !tc + k;
+  let borrow = ref 0 in
+  for i = 0 to k - 1 do
+    let s = a.(i) - b.(i) - !borrow in
+    dst.(i) <- s land limb_mask;
+    borrow := (s asr limb_bits) land 1
+  done;
+  !borrow
+
+(* 1 iff a >= b: the subtraction borrow with the difference discarded.
+   Full-width sweep — no early exit on the first differing limb, unlike
+   [cmp_mag]. *)
+let ct_ge_raw ~k a b =
+  let tc = ct_traffic_ () in
+  tc := !tc + k;
+  let borrow = ref 0 in
+  for i = 0 to k - 1 do
+    let s = a.(i) - b.(i) - !borrow in
+    borrow := (s asr limb_bits) land 1
+  done;
+  1 - !borrow
+
+(* dst <- v - (if v >= m then m else 0) for v = hi*base^k + t[off..off+k-1]
+   with v < 2m: the final subtraction of Montgomery reduction.  Always
+   computes the difference, then selects by mask.  [sc] is a k-limb
+   scratch region starting at [soff]; dst may alias t[off..] or an operand
+   array, but not the scratch. *)
+let ct_reduce_once ~k ~mm ~hi t off sc soff dst =
+  let tc = ct_traffic_ () in
+  tc := !tc + (2 * k);
+  let borrow = ref 0 in
+  for i = 0 to k - 1 do
+    let s = t.(off + i) - mm.(i) - !borrow in
+    sc.(soff + i) <- s land limb_mask;
+    borrow := (s asr limb_bits) land 1
+  done;
+  (* v >= m iff the high limb is set (v >= base^k > m) or there is no
+     borrow out of the low-limb subtraction *)
+  let m = ct_mask (hi lor (1 - !borrow)) in
+  for i = 0 to k - 1 do
+    dst.(i) <- (sc.(soff + i) land m) lor (t.(off + i) land lnot m)
+  done
+
+(* dst (length ka+kb) <- a * b: fixed schoolbook with no zero-limb skip,
+   and the carry out of each row lands in one fixed cell instead of
+   rippling until it dies — identical work for every operand value. *)
+let ct_mul_raw ~ka ~kb a b dst =
+  let tc = ct_traffic_ () in
+  tc := !tc + (ka * kb);
+  Array.fill dst 0 (ka + kb) 0;
+  for i = 0 to ka - 1 do
+    let ai = Array.unsafe_get a i in
+    let carry = ref 0 in
+    for j = 0 to kb - 1 do
+      let s = Array.unsafe_get dst (i + j) + (ai * Array.unsafe_get b j) + !carry in
+      Array.unsafe_set dst (i + j) (s land limb_mask);
+      carry := s lsr limb_bits
+    done;
+    dst.(i + kb) <- !carry
+  done
+
 (* ---- Montgomery (REDC) arithmetic ---- *)
 
 module Mont = struct
   type ctx = {
     m : t;  (* odd modulus *)
-    k : int;  (* limbs in m; R = base^k *)
+    k : int;  (* working width in limbs (>= limbs of m); R = base^k *)
     n0' : int;  (* -m^-1 mod 2^limb_bits *)
-    r2 : t;  (* R^2 mod m, for to_mont *)
+    mm : int array;  (* m padded to k limbs *)
+    r2_raw : int array;  (* R^2 mod m as k limbs, for to_mont *)
+    one_raw : int array;  (* R mod m as k limbs: 1 in the Montgomery domain *)
   }
 
   (* Running count of limb multiply-accumulates performed by the Mont
@@ -385,51 +497,71 @@ module Mont = struct
     done;
     !x land limb_mask
 
-  let create m =
+  (* [width] pads the working width beyond the modulus' own limb count —
+     the CRT path uses it so both halves run at one fixed width even when
+     p and q have different limb counts.  Context setup itself performs
+     wide divisions (R^2 mod m); it is amortized per modulus and sits
+     outside the per-op sentinel scope, like real libraries' key-load
+     precomputation. *)
+  let create_width ?width m =
     if m.sign <= 0 || is_even m || is_one m then None
     else begin
-      let k = Array.length m.mag in
+      let k = max (Array.length m.mag) (match width with Some w -> w | None -> 0) in
+      let pad x =
+        let r = Array.make k 0 in
+        Array.blit x.mag 0 r 0 (Array.length x.mag);
+        r
+      in
       let n0' = base - inv_limb m.mag.(0) in
       let r2 = rem (shift_left one (2 * k * limb_bits)) m in
-      Some { m; k; n0'; r2 }
+      let one_m = rem (shift_left one (k * limb_bits)) m in
+      Some { m; k; n0'; mm = pad m; r2_raw = pad r2; one_raw = pad one_m }
     end
+
+  let create m = create_width m
+
+  (* In-place Montgomery reduction pass over w (length 2k+1): afterwards
+     the value sits in w[k..2k] and is < 2m (given the input was < m*R).
+     Fixed-length carry propagation: the carry out of each row is folded
+     through every remaining cell rather than rippling until it dies, so
+     the sweep length depends on the row index only, never on the data. *)
+  let mont_redc_core ~k ~mm ~n0' w =
+    for i = 0 to k - 1 do
+      let u = Array.unsafe_get w i * n0' land limb_mask in
+      let c = ref 0 in
+      for j = 0 to k - 1 do
+        let s = Array.unsafe_get w (i + j) + (u * Array.unsafe_get mm j) + !c in
+        Array.unsafe_set w (i + j) (s land limb_mask);
+        c := s lsr limb_bits
+      done;
+      for idx = i + k to 2 * k do
+        let s = w.(idx) + !c in
+        w.(idx) <- s land limb_mask;
+        c := s lsr limb_bits
+      done
+    done
+
+  (* dst (k limbs) <- REDC(w) for w of length 2k+1 (destroyed); the raw
+     fixed-width counterpart of [redc], used below [pow] and by the CRT
+     path.  w[0..k-1] are zero after the core pass and double as the
+     conditional-subtract scratch. *)
+  let mont_redc_raw ~k ~mm ~n0' w dst =
+    let wc = word_muls_ () in
+    wc := !wc + (k * (k + 1));
+    mont_redc_core ~k ~mm ~n0' w;
+    ct_reduce_once ~k ~mm ~hi:w.(2 * k) w k w 0 dst
 
   (* REDC(T) = T * R^-1 mod m, for 0 <= T < m*R *)
   let redc ctx t_in =
     let k = ctx.k in
-    let wc = word_muls_ () in
-    wc := !wc + (k * (k + 1));
-    let mm = ctx.m.mag in
-    (* working copy, k extra limbs plus one for carries *)
+    (* working copy, k extra limbs plus one for carries; the input length
+       is a boundary artifact of the [t] representation — below this line
+       everything is fixed-width *)
     let w = Array.make ((2 * k) + 1) 0 in
     Array.blit t_in.mag 0 w 0 (Array.length t_in.mag);
-    for i = 0 to k - 1 do
-      let u = w.(i) * ctx.n0' land limb_mask in
-      (* w += u * m << (i limbs) *)
-      let carry = ref 0 in
-      for j = 0 to k - 1 do
-        let s = w.(i + j) + (u * mm.(j)) + !carry in
-        w.(i + j) <- s land limb_mask;
-        carry := s lsr limb_bits
-      done;
-      let idx = ref (i + k) in
-      while !carry <> 0 do
-        let s = w.(!idx) + !carry in
-        w.(!idx) <- s land limb_mask;
-        carry := s lsr limb_bits;
-        incr idx
-      done
-    done;
-    let hi = normalize 1 (Array.sub w k (k + 1)) in
-    if cmp_mag hi.mag mm >= 0 then normalize 1 (sub_mag hi.mag mm) else hi
-
-  let mul ctx a b =
-    if a.sign < 0 || b.sign < 0 then invalid_arg "Bn.Mont.mul: negative input";
-    redc ctx (mul a b)
-
-  let to_mont ctx x =
-    if x.sign < 0 || cmp_mag x.mag ctx.m.mag >= 0 then invalid_arg "Bn.Mont.to_mont: out of range";
-    mul ctx x ctx.r2
+    let dst = Array.make k 0 in
+    mont_redc_raw ~k ~mm:ctx.mm ~n0':ctx.n0' w dst;
+    normalize 1 dst
 
   let from_mont ctx x = redc ctx x
 
@@ -439,8 +571,10 @@ module Mont = struct
      the Montgomery reduction.  Limb products fit the native int:
      (2^24-1)^2 + 2*(2^24-1) < 2^49. *)
 
-  (* dst <- a*b*R^-1 mod m.  [t] is scratch of length k+2; aliasing dst
-     with a or b is fine (dst is written only after a and b are read). *)
+  (* dst <- a*b*R^-1 mod m.  [t] is scratch of length 2k+2 (the CIOS
+     accumulator in t[0..k+1], conditional-subtract scratch in
+     t[k+2..2k+1]); aliasing dst with a or b is fine (dst is written only
+     after a and b are read), but dst must not alias t. *)
   let mont_mul_raw ~k ~mm ~n0' ~t a b dst =
     let wc = word_muls_ () in
     wc := !wc + (2 * k * k);
@@ -468,33 +602,8 @@ module Mont = struct
       t.(k) <- t.(k + 1) + (s lsr limb_bits);
       t.(k + 1) <- 0
     done;
-    (* result in t.(0..k) is < 2m: one conditional subtraction *)
-    let ge =
-      if t.(k) <> 0 then true
-      else begin
-        let rec go i =
-          if i < 0 then true
-          else if t.(i) <> mm.(i) then t.(i) > mm.(i)
-          else go (i - 1)
-        in
-        go (k - 1)
-      end
-    in
-    if ge then begin
-      let borrow = ref 0 in
-      for i = 0 to k - 1 do
-        let s = t.(i) - mm.(i) - !borrow in
-        if s < 0 then begin
-          dst.(i) <- s + base;
-          borrow := 1
-        end
-        else begin
-          dst.(i) <- s;
-          borrow := 0
-        end
-      done
-    end
-    else Array.blit t 0 dst 0 k
+    (* result in t.(0..k) is < 2m: one branchless conditional subtraction *)
+    ct_reduce_once ~k ~mm ~hi:t.(k) t 0 t (k + 2) dst
 
   (* dst <- a*a*R^-1 mod m.  [t2] is scratch of length 2k+1.  Exploits the
      symmetry of squaring (off-diagonal products computed once, doubled),
@@ -534,50 +643,11 @@ module Mont = struct
       c := s2 lsr limb_bits
     done;
     t2.(2 * k) <- t2.(2 * k) + !c;
-    (* Montgomery reduction of the 2k-limb square *)
-    for i = 0 to k - 1 do
-      let u = Array.unsafe_get t2 i * n0' land limb_mask in
-      let c = ref 0 in
-      for j = 0 to k - 1 do
-        let s = Array.unsafe_get t2 (i + j) + (u * Array.unsafe_get mm j) + !c in
-        Array.unsafe_set t2 (i + j) (s land limb_mask);
-        c := s lsr limb_bits
-      done;
-      let idx = ref (i + k) in
-      while !c <> 0 do
-        let s = t2.(!idx) + !c in
-        t2.(!idx) <- s land limb_mask;
-        c := s lsr limb_bits;
-        incr idx
-      done
-    done;
-    (* result in t2.(k..2k) is < 2m: one conditional subtraction *)
-    let ge =
-      if t2.(2 * k) <> 0 then true
-      else begin
-        let rec go i =
-          if i < 0 then true
-          else if t2.(k + i) <> mm.(i) then t2.(k + i) > mm.(i)
-          else go (i - 1)
-        in
-        go (k - 1)
-      end
-    in
-    if ge then begin
-      let borrow = ref 0 in
-      for i = 0 to k - 1 do
-        let s = t2.(k + i) - mm.(i) - !borrow in
-        if s < 0 then begin
-          dst.(i) <- s + base;
-          borrow := 1
-        end
-        else begin
-          dst.(i) <- s;
-          borrow := 0
-        end
-      done
-    end
-    else Array.blit t2 k dst 0 k
+    (* Montgomery reduction of the 2k-limb square (fixed carry sweeps),
+       then one branchless conditional subtraction.  t2[0..k-1] are zero
+       after the reduction pass and double as its scratch. *)
+    mont_redc_core ~k ~mm ~n0' t2;
+    ct_reduce_once ~k ~mm ~hi:t2.(2 * k) t2 k t2 0 dst
 
   (* x.mag padded to exactly k limbs *)
   let raw_of ~k x =
@@ -585,20 +655,74 @@ module Mont = struct
     Array.blit x.mag 0 r 0 (Array.length x.mag);
     r
 
-  let pow ctx ~base:b ~exp =
-    if exp.sign < 0 then invalid_arg "Bn.Mont.pow: negative exponent";
+  let mul ctx a b =
+    if a.sign < 0 || b.sign < 0 then invalid_arg "Bn.Mont.mul: negative input";
     let k = ctx.k in
-    let mm = ctx.m.mag and n0' = ctx.n0' in
-    let t = Array.make (k + 2) 0 in
+    if Array.length a.mag <= k && Array.length b.mag <= k then begin
+      let t = Array.make ((2 * k) + 2) 0 in
+      let dst = Array.make k 0 in
+      mont_mul_raw ~k ~mm:ctx.mm ~n0':ctx.n0' ~t (raw_of ~k a) (raw_of ~k b) dst;
+      normalize 1 dst
+    end
+    else
+      (* over-width operand (still requires a*b < m*R): legacy route via
+         the variable-length multiplier — public-scale inputs only *)
+      redc ctx (mul a b)
+
+  let to_mont ctx x =
+    if x.sign < 0 || cmp_mag x.mag ctx.m.mag >= 0 then invalid_arg "Bn.Mont.to_mont: out of range";
+    let k = ctx.k in
+    let t = Array.make ((2 * k) + 2) 0 in
+    let dst = Array.make k 0 in
+    mont_mul_raw ~k ~mm:ctx.mm ~n0':ctx.n0' ~t (raw_of ~k x) ctx.r2_raw dst;
+    normalize 1 dst
+
+  (* dst (k limbs) <- table.(idx) without a secret-dependent index: every
+     entry is swept and accumulated under an all-or-nothing mask, so not
+     even the memory-access pattern follows the exponent window.  The
+     equality test is the shift trick: (j xor idx) - 1 is negative exactly
+     for the matching entry, and a logical shift of a negative int leaves
+     the sign bit. *)
+  let ct_gather ~k table idx dst =
+    let tc = ct_traffic_ () in
+    tc := !tc + (16 * k);
+    Array.fill dst 0 k 0;
+    for j = 0 to 15 do
+      let m = ct_mask (((j lxor idx) - 1) lsr (Sys.int_size - 1)) in
+      let e = table.(j) in
+      for i = 0 to k - 1 do
+        dst.(i) <- dst.(i) lor (e.(i) land m)
+      done
+    done
+
+  (* Test-only leak hook for the CI leakage-sentinel smoke test: when
+     armed, [pow_raw] adds the exponent's popcount to both
+     secret-independence counters — reintroducing exactly the class of
+     secret-dependent cost the ct-leakage sentinel exists to catch. *)
+  let test_leak_key = Domain.DLS.new_key (fun () -> ref false)
+
+  let inject_test_leak v = Domain.DLS.get test_leak_key := v
+
+  (* braw: the base as exactly k limbs, any value < base^k (it is reduced
+     mod m implicitly by the first Montgomery multiply).  Returns
+     (braw mod m)^exp mod m as k limbs.  Below this point every kernel is
+     fixed-width and branchless; the only exponent-driven control left is
+     the short-exponent fast path, reserved for public exponents. *)
+  let pow_raw ctx ~braw ~exp =
+    let k = ctx.k in
+    let mm = ctx.mm and n0' = ctx.n0' in
+    let t = Array.make ((2 * k) + 2) 0 in
     let t2 = Array.make ((2 * k) + 1) 0 in
-    let bm = raw_of ~k (to_mont ctx b) in
-    (* 1 in the Montgomery domain is R mod m = REDC(R^2) *)
-    let one_m = raw_of ~k (from_mont ctx ctx.r2) in
+    let bm = Array.make k 0 in
+    mont_mul_raw ~k ~mm ~n0' ~t braw ctx.r2_raw bm;
+    let one_m = ctx.one_raw in
     let nbits = bit_length exp in
     let result =
       if nbits <= 2 * limb_bits then begin
         (* short exponents (e.g. the public 65537): plain square-and-multiply
-           beats paying for a window table *)
+           beats paying for a window table.  Branching on exponent bits is
+           acceptable here because short exponents are public by
+           construction (RSA e, protocol cofactors) — never dp/dq/x. *)
         let result = Array.copy one_m in
         for i = nbits - 1 downto 0 do
           mont_sqr_raw ~k ~mm ~n0' ~t2 result result;
@@ -611,10 +735,13 @@ module Mont = struct
            never straddles limbs.  Long exponents are the secret ones (RSA
            dp/dq, DH private), so the schedule must not depend on their bit
            pattern: the exponent is padded to the modulus width and every
-           window pays one table multiply — a zero window multiplies by the
-           Montgomery one.  The word-mul count (and thus the charged cycle
-           cost) is a function of the limb count k alone, which is what the
-           leakage sentinel asserts per private_op sample. *)
+           window pays one gathered table multiply — a zero window
+           multiplies by the Montgomery one.  The word-mul count (and thus
+           the charged cycle cost) is a function of the limb count k alone,
+           which is what the leakage sentinel asserts per private_op
+           sample.  The top window seeds the accumulator directly instead
+           of squaring the Montgomery one four times — same fixed schedule,
+           4 squarings and 1 multiply cheaper per exponentiation. *)
         let table = Array.make 16 one_m in
         table.(1) <- bm;
         for j = 2 to 15 do
@@ -630,17 +757,46 @@ module Mont = struct
           (emag.(bitpos / limb_bits) lsr (bitpos mod limb_bits)) land 0xf
         in
         let nwin = elimbs * limb_bits / 4 in
-        let result = Array.copy one_m in
-        for w = nwin - 1 downto 0 do
+        let g = Array.make k 0 in
+        let result = Array.make k 0 in
+        ct_gather ~k table (nibble (nwin - 1)) result;
+        for w = nwin - 2 downto 0 do
           for _ = 1 to 4 do
             mont_sqr_raw ~k ~mm ~n0' ~t2 result result
           done;
-          mont_mul_raw ~k ~mm ~n0' ~t result table.(nibble w) result
+          ct_gather ~k table (nibble w) g;
+          mont_mul_raw ~k ~mm ~n0' ~t result g result
         done;
         result
       end
     in
-    from_mont ctx (normalize 1 result)
+    if !(Domain.DLS.get test_leak_key) then begin
+      let pc = ref 0 in
+      Array.iter
+        (fun l ->
+          let v = ref l in
+          while !v <> 0 do
+            pc := !pc + (!v land 1);
+            v := !v lsr 1
+          done)
+        exp.mag;
+      let wc = word_muls_ () in
+      wc := !wc + !pc;
+      let tc = ct_traffic_ () in
+      tc := !tc + !pc
+    end;
+    (* leave the Montgomery domain: REDC of the k-limb result *)
+    Array.fill t2 0 ((2 * k) + 1) 0;
+    Array.blit result 0 t2 0 k;
+    let out = Array.make k 0 in
+    mont_redc_raw ~k ~mm ~n0' t2 out;
+    out
+
+  let pow ctx ~base:b ~exp =
+    if exp.sign < 0 then invalid_arg "Bn.Mont.pow: negative exponent";
+    if b.sign < 0 || cmp_mag b.mag ctx.m.mag >= 0 then
+      invalid_arg "Bn.Mont.pow: base out of range";
+    normalize 1 (pow_raw ctx ~braw:(raw_of ~k:ctx.k b) ~exp)
 end
 
 (* Montgomery contexts are costly to build (R^2 mod m needs a wide
@@ -676,6 +832,178 @@ let mod_pow ~base:b ~exp ~modulus =
     | Some ctx -> Mont.pow ctx ~base:(rem b modulus) ~exp
     | None -> mod_pow_plain ~base:b ~exp ~modulus
   else mod_pow_plain ~base:b ~exp ~modulus
+
+(* ---- public constant-time fixed-width wrappers ---- *)
+
+module Ct = struct
+  (* the module shadows [add]/[sub]/[mul] with fixed-width versions;
+     keep the variable-time ones reachable for the fallback path *)
+  let bn_add = add
+  let bn_sub = sub
+  let bn_mul = mul
+
+  let limb_traffic () = !(ct_traffic_ ())
+
+  (* operand as exactly [width] limbs; conversion between the normalized
+     [t] representation and the fixed width happens only at this boundary *)
+  let raw ~width x =
+    if x.sign < 0 then invalid_arg "Bn.Ct: negative operand";
+    if Array.length x.mag > width then invalid_arg "Bn.Ct: operand wider than width";
+    let r = Array.make width 0 in
+    Array.blit x.mag 0 r 0 (Array.length x.mag);
+    r
+
+  let select ~width ~bit a b =
+    let d = Array.make width 0 in
+    ct_select_raw ~k:width bit (raw ~width a) (raw ~width b) d;
+    normalize 1 d
+
+  let add ~width a b =
+    let d = Array.make width 0 in
+    let carry = ct_add_raw ~k:width (raw ~width a) (raw ~width b) d in
+    (normalize 1 d, carry)
+
+  let sub ~width a b =
+    let d = Array.make width 0 in
+    let borrow = ct_sub_raw ~k:width (raw ~width a) (raw ~width b) d in
+    (normalize 1 d, borrow)
+
+  let ge ~width a b = ct_ge_raw ~k:width (raw ~width a) (raw ~width b) = 1
+
+  let mul ~width a b =
+    let d = Array.make (2 * width) 0 in
+    ct_mul_raw ~ka:width ~kb:width (raw ~width a) (raw ~width b) d;
+    normalize 1 d
+
+  let check_mod ~m name =
+    if m.sign <= 0 then invalid_arg (name ^ ": modulus must be positive")
+
+  let mod_add ~m a b =
+    check_mod ~m "Bn.Ct.mod_add";
+    let k = Array.length m.mag in
+    let mr = raw ~width:k m in
+    let ar = raw ~width:k a and br = raw ~width:k b in
+    if ct_ge_raw ~k ar mr = 1 || ct_ge_raw ~k br mr = 1 then
+      invalid_arg "Bn.Ct.mod_add: operand out of range";
+    let s = Array.make k 0 in
+    let hi = ct_add_raw ~k ar br s in
+    let sc = Array.make k 0 in
+    let d = Array.make k 0 in
+    ct_reduce_once ~k ~mm:mr ~hi s 0 sc 0 d;
+    normalize 1 d
+
+  let mod_sub ~m a b =
+    check_mod ~m "Bn.Ct.mod_sub";
+    let k = Array.length m.mag in
+    let mr = raw ~width:k m in
+    let ar = raw ~width:k a and br = raw ~width:k b in
+    if ct_ge_raw ~k ar mr = 1 || ct_ge_raw ~k br mr = 1 then
+      invalid_arg "Bn.Ct.mod_sub: operand out of range";
+    let d = Array.make k 0 in
+    let borrow = ct_sub_raw ~k ar br d in
+    let e = Array.make k 0 in
+    (* d + m, carry discarded: exact mod base^k when a < b *)
+    ignore (ct_add_raw ~k d mr e : int);
+    let r = Array.make k 0 in
+    ct_select_raw ~k borrow e d r;
+    normalize 1 r
+
+  (* CRT-context cache: (p, q) -> width-padded Montgomery contexts for
+     both halves plus the recombined modulus.  Domain-local, like the
+     mont_ctx cache: fleet shards on parallel domains must not share. *)
+  let crt_cache_key : ((t * t) * (t * Mont.ctx * Mont.ctx)) list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let crt_cache_max = 4
+
+  let crt_ctxs p q =
+    let cache = Domain.DLS.get crt_cache_key in
+    match List.find_opt (fun ((p', q'), _) -> equal p' p && equal q' q) !cache with
+    | Some (_, v) -> Some v
+    | None ->
+      let kh = max (Array.length p.mag) (Array.length q.mag) in
+      (match (Mont.create_width ~width:kh p, Mont.create_width ~width:kh q) with
+       | Some cp, Some cq ->
+         let v = (bn_mul p q, cp, cq) in
+         let keep = List.filteri (fun i _ -> i < crt_cache_max - 1) !cache in
+         cache := ((p, q), v) :: keep;
+         Some v
+       | _ -> None)
+
+  (* c mod m in constant shape for any 2k-limb c < m * base^k: one
+     Montgomery reduction (c * R^-1 mod m) followed by a multiply with
+     R^2 (and its implicit R^-1) lands back on c mod m. *)
+  let reduce_mod (ctx : Mont.ctx) craw =
+    let k = ctx.Mont.k in
+    let w = Array.make ((2 * k) + 1) 0 in
+    Array.blit craw 0 w 0 (min (Array.length craw) (2 * k));
+    let u = Array.make k 0 in
+    Mont.mont_redc_raw ~k ~mm:ctx.Mont.mm ~n0':ctx.Mont.n0' w u;
+    let t = Array.make ((2 * k) + 2) 0 in
+    let d = Array.make k 0 in
+    Mont.mont_mul_raw ~k ~mm:ctx.Mont.mm ~n0':ctx.Mont.n0' ~t u ctx.Mont.r2_raw d;
+    d
+
+  (* variable-time route, kept only for degenerate moduli the Montgomery
+     engine rejects (even / one / non-positive p or q) — never for real
+     keys *)
+  let crt_exp_fallback ~p ~q ~dp ~dq ~qinv c =
+    let m1 = mod_pow ~base:c ~exp:dp ~modulus:p in
+    let m2 = mod_pow ~base:c ~exp:dq ~modulus:q in
+    let h = rem (bn_mul qinv (bn_sub m1 m2)) p in
+    let result = bn_add m2 (bn_mul h q) in
+    (result, m1, m2, h)
+
+  let crt_exp ~p ~q ~dp ~dq ~qinv c =
+    match crt_ctxs p q with
+    | None -> crt_exp_fallback ~p ~q ~dp ~dq ~qinv c
+    | Some (n, cp, cq) ->
+      let kh = cp.Mont.k in
+      if c.sign < 0 || compare c n >= 0 || qinv.sign < 0
+         || Array.length qinv.mag > kh || dp.sign < 0 || dq.sign < 0
+      then crt_exp_fallback ~p ~q ~dp ~dq ~qinv c
+      else begin
+        (* constant shape end to end: every intermediate is a fixed-width
+           limb vector — the halves at kh = max(limbs p, limbs q), the
+           recombination at 2*kh — regardless of the values involved *)
+        let craw = Array.make (2 * kh) 0 in
+        Array.blit c.mag 0 craw 0 (Array.length c.mag);
+        let bp = reduce_mod cp craw in
+        let bq = reduce_mod cq craw in
+        let m1 = Mont.pow_raw cp ~braw:bp ~exp:dp in
+        let m2 = Mont.pow_raw cq ~braw:bq ~exp:dq in
+        (* h = qinv * (m1 - m2) mod p, entirely inside p's Montgomery
+           domain; m2 may exceed p, which to_mont absorbs (any value
+           below base^kh reduces mod p through the REDC multiply) *)
+        let mmp = cp.Mont.mm and n0p = cp.Mont.n0' in
+        let t = Array.make ((2 * kh) + 2) 0 in
+        let am1 = Array.make kh 0 and am2 = Array.make kh 0 in
+        Mont.mont_mul_raw ~k:kh ~mm:mmp ~n0':n0p ~t m1 cp.Mont.r2_raw am1;
+        Mont.mont_mul_raw ~k:kh ~mm:mmp ~n0':n0p ~t m2 cp.Mont.r2_raw am2;
+        let d = Array.make kh 0 in
+        let borrow = ct_sub_raw ~k:kh am1 am2 d in
+        let e = Array.make kh 0 in
+        ignore (ct_add_raw ~k:kh d mmp e : int);
+        let dm = Array.make kh 0 in
+        ct_select_raw ~k:kh borrow e d dm;
+        let qm = Array.make kh 0 in
+        Mont.mont_mul_raw ~k:kh ~mm:mmp ~n0':n0p ~t (raw ~width:kh qinv) cp.Mont.r2_raw qm;
+        let hm = Array.make kh 0 in
+        Mont.mont_mul_raw ~k:kh ~mm:mmp ~n0':n0p ~t dm qm hm;
+        let w = Array.make ((2 * kh) + 1) 0 in
+        Array.blit hm 0 w 0 kh;
+        let h = Array.make kh 0 in
+        Mont.mont_redc_raw ~k:kh ~mm:mmp ~n0':n0p w h;
+        (* recombine at twice the half width: result = m2 + h*q < p*q *)
+        let hq = Array.make (2 * kh) 0 in
+        ct_mul_raw ~ka:kh ~kb:kh h (raw ~width:kh q) hq;
+        let m2w = Array.make (2 * kh) 0 in
+        Array.blit m2 0 m2w 0 kh;
+        let res = Array.make (2 * kh) 0 in
+        ignore (ct_add_raw ~k:(2 * kh) hq m2w res : int);
+        (normalize 1 res, normalize 1 m1, normalize 1 m2, normalize 1 h)
+      end
+end
 
 let rec gcd a b =
   let a = abs a and b = abs b in

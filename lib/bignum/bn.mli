@@ -118,7 +118,65 @@ module Mont : sig
   (** Monotone count of limb multiply-accumulates performed by the
       Montgomery kernels since program start.  Host-side bookkeeping (no
       simulated state involved): cost-model callers read it before and
-      after an operation and charge the delta. *)
+      after an operation and charge the delta.  Domain-local, like the
+      context caches. *)
+
+  val inject_test_leak : bool -> unit
+  (** Test-only hook: when armed, [pow] adds the exponent's popcount to
+      both [word_muls] and [Ct.limb_traffic] — a deliberate
+      secret-dependent cost that the ct-leakage sentinels must catch.
+      Never enable outside tests/CI smoke runs. *)
+end
+
+(** Constant-time fixed-width limb operations — the branchless engine
+    below [Mont.pow].  Every function here performs an instruction and
+    memory-access sequence that depends only on the width argument
+    (resp. the modulus size), never on operand {e values}: no
+    data-dependent branches, no data-dependent indices.  Limb traffic is
+    counted so the telemetry sentinel can prove it. *)
+module Ct : sig
+  val limb_traffic : unit -> int
+  (** Monotone count of limbs read/written by the constant-time
+      primitives since program start (domain-local, host-side
+      bookkeeping like [Mont.word_muls]). *)
+
+  val select : width:int -> bit:int -> t -> t -> t
+  (** [select ~width ~bit a b] is [a] when [bit land 1 = 1] else [b],
+      via a masked sweep over [width] limbs.  Operands must be
+      non-negative and fit in [width] limbs. *)
+
+  val add : width:int -> t -> t -> t * int
+  (** Fixed-width sum and carry-out bit. *)
+
+  val sub : width:int -> t -> t -> t * int
+  (** Fixed-width difference modulo [base^width] and borrow-out bit. *)
+
+  val ge : width:int -> t -> t -> bool
+  (** [a >= b] via a full-width borrow chain (no early exit). *)
+
+  val mul : width:int -> t -> t -> t
+  (** Fixed schoolbook product over [width * width] limb pairs, no
+      zero-limb skipping. *)
+
+  val mod_add : m:t -> t -> t -> t
+  (** [(a + b) mod m] for [0 <= a, b < m] via add + always-subtract +
+      masked select.  Raises [Invalid_argument] out of range. *)
+
+  val mod_sub : m:t -> t -> t -> t
+  (** [(a - b) mod m] for [0 <= a, b < m] via sub + always-add +
+      masked select.  Raises [Invalid_argument] out of range. *)
+
+  val crt_exp : p:t -> q:t -> dp:t -> dq:t -> qinv:t -> t -> t * t * t * t
+  (** [crt_exp ~p ~q ~dp ~dq ~qinv c] is [(m, m1, m2, h)] — Garner's
+      CRT recombination [m = m2 + (qinv*(m1 - m2) mod p) * q] with
+      [m1 = c^dp mod p] and [m2 = c^dq mod q], computed in constant
+      shape: both halves are padded to [max (num_limbs p) (num_limbs q)]
+      limbs, the recombination runs at twice that width, and every step
+      below the exponentiation uses the branchless primitives above.
+      Montgomery contexts for [(p, q)] are cached per domain.  Falls
+      back to the variable-time formula only for degenerate inputs the
+      Montgomery engine rejects (even/non-positive moduli, [c >= p*q],
+      negative operands). *)
 end
 
 val gcd : t -> t -> t

@@ -54,13 +54,19 @@ let server_name = function Timeline.Ssh -> "ssh" | Timeline.Http -> "http"
    - swap-pressure: any key-era page reached the swap device;
    - ct-leakage: the constant-time sentinel — the word-mul cost of
      [rsa.private_op] showed any variance across samples, i.e. the
-     modular exponentiation leaked secret-dependent work. *)
+     modular exponentiation leaked secret-dependent work;
+   - ct-leakage-limbs: the same sentinel one layer lower — the limb
+     traffic of the branchless [Bn.Ct] engine varied across operations,
+     i.e. some add/sub/select/reduce sweep became value-dependent. *)
 let install_default_alerts obs =
   Obs.Alert.install obs ~name:"exposure-slo" ~series:"exposure.sensitive_unsafe"
     (Obs.Alert.Threshold { cmp = Obs.Alert.Gt; value = 0.; for_ticks = 3 });
   Obs.Alert.install obs ~name:"swap-pressure" ~series:"kernel.swap_slots_used"
     (Obs.Alert.Threshold { cmp = Obs.Alert.Gt; value = 0.; for_ticks = 1 });
   Obs.Alert.install obs ~name:"ct-leakage" ~series:"rsa.private_op.word_muls"
+    (Obs.Alert.Window_spread { window = 0; min_spread = 1. });
+  Obs.Alert.install obs ~name:"ct-leakage-limbs"
+    ~series:"rsa.private_op.limb_traffic"
     (Obs.Alert.Window_spread { window = 0; min_spread = 1. })
 
 let collect_metrics obs =

@@ -65,11 +65,14 @@ type t = {
 val install_default_alerts : Obs.ctx -> unit
 (** Arm the standing SLO pack on a context: [exposure-slo] (sensitive
     bytes outside mlocked-anon for 3 consecutive ticks), [swap-pressure]
-    (any used swap slot), and [ct-leakage] — the constant-time sentinel, a
-    zero-tolerance spread rule over [rsa.private_op.word_muls] that fires
-    if any two private operations ever charged a different word-mul
-    count.  {!run} and the fleet shards install it automatically;
-    [memguard_cli watch] exposes it standalone. *)
+    (any used swap slot), and the two constant-time sentinels —
+    [ct-leakage], a zero-tolerance spread rule over
+    [rsa.private_op.word_muls] that fires if any two private operations
+    ever charged a different word-mul count, and [ct-leakage-limbs], the
+    same rule over [rsa.private_op.limb_traffic] guarding the branchless
+    [Bn.Ct] sweeps one layer below the ladder.  {!run} and the fleet
+    shards install it automatically; [memguard_cli watch] exposes it
+    standalone. *)
 
 val collect_metrics : Obs.ctx -> metric_series list
 (** Snapshot every {!Obs.Timeseries} series of a context (name-sorted). *)

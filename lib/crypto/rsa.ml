@@ -66,11 +66,10 @@ let encrypt_raw (pub : public) m =
   Bn.mod_pow ~base:m ~exp:pub.e ~modulus:pub.n
 
 let decrypt_crt k c =
-  (* m1 = c^dp mod p; m2 = c^dq mod q; h = qinv (m1 - m2) mod p; m = m2 + h q *)
-  let m1 = Bn.mod_pow ~base:c ~exp:k.dp ~modulus:k.p in
-  let m2 = Bn.mod_pow ~base:c ~exp:k.dq ~modulus:k.q in
-  let h = Bn.rem (Bn.mul k.qinv (Bn.sub m1 m2)) k.p in
-  Bn.add m2 (Bn.mul h k.q)
+  (* m1 = c^dp mod p; m2 = c^dq mod q; h = qinv (m1 - m2) mod p; m = m2 + h q
+     — computed in constant shape by the branchless fixed-width engine *)
+  let m, _m1, _m2, _h = Bn.Ct.crt_exp ~p:k.p ~q:k.q ~dp:k.dp ~dq:k.dq ~qinv:k.qinv c in
+  m
 
 let decrypt_raw ?(crt = true) k c =
   if Bn.sign c < 0 || Bn.compare c k.n >= 0 then invalid_arg "Rsa.decrypt_raw: c out of range";

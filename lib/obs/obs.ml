@@ -105,6 +105,7 @@ type cost_op =
   | Page_cache_miss
   | Disk_read_byte
   | Mont_word_mul
+  | Ct_limb_op
   | Scan_byte
 
 type cost_model = {
@@ -118,6 +119,7 @@ type cost_model = {
   page_cache_miss : int;
   disk_read_byte : int;
   mont_word_mul : int;
+  ct_limb_op : int;
   scan_byte : int;
 }
 
@@ -263,6 +265,12 @@ let default_cost_model =
     page_cache_miss = 300;
     disk_read_byte = 16;
     mont_word_mul = 4;
+    (* limb traffic is a leakage witness, not extra work: the limbs a
+       constant-time sweep touches are the same ones the word-mul price
+       already covers, so charging it cycles would double-count.  The
+       count still lands in by_op, and the telemetry sentinel watches
+       the per-op series for secret-dependent spread. *)
+    ct_limb_op = 0;
     scan_byte = 1
   }
 
@@ -833,6 +841,7 @@ module Cost = struct
     | Page_cache_miss
     | Disk_read_byte
     | Mont_word_mul
+    | Ct_limb_op
     | Scan_byte
 
   type model = cost_model = {
@@ -846,12 +855,14 @@ module Cost = struct
     page_cache_miss : int;
     disk_read_byte : int;
     mont_word_mul : int;
+    ct_limb_op : int;
     scan_byte : int;
   }
 
   let all_ops =
     [ Byte_copied; Byte_zeroed; Page_fault; Cow_break; Swap_out_page; Swap_in_page;
-      Page_cache_hit; Page_cache_miss; Disk_read_byte; Mont_word_mul; Scan_byte ]
+      Page_cache_hit; Page_cache_miss; Disk_read_byte; Mont_word_mul; Ct_limb_op;
+      Scan_byte ]
 
   let op_name = function
     | Byte_copied -> "byte_copied"
@@ -864,6 +875,7 @@ module Cost = struct
     | Page_cache_miss -> "page_cache_miss"
     | Disk_read_byte -> "disk_read_byte"
     | Mont_word_mul -> "mont_word_mul"
+    | Ct_limb_op -> "ct_limb_op"
     | Scan_byte -> "scan_byte"
 
   let default_model = default_cost_model
@@ -879,6 +891,7 @@ module Cost = struct
     | Page_cache_miss -> m.page_cache_miss
     | Disk_read_byte -> m.disk_read_byte
     | Mont_word_mul -> m.mont_word_mul
+    | Ct_limb_op -> m.ct_limb_op
     | Scan_byte -> m.scan_byte
 
   let model ctx = ctx.cost_model_
@@ -1194,18 +1207,39 @@ module Timeseries = struct
       name;
     Buffer.contents b
 
+  (* Label values per the exposition format: backslash, double quote and
+     newline must be escaped inside the quoted string. *)
+  let prom_escape v =
+    let b = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+
   (* Prometheus text exposition: the last offered value of every series,
-     timestamped with its simulation tick. *)
+     timestamped with its simulation tick.  Counters carry the
+     conventional [_total] suffix (derived rates do not — they are
+     exported as gauges); the raw series name rides along as an escaped
+     [series] label so dotted names survive the [a-zA-Z0-9_]
+     sanitization round trip. *)
   let to_prometheus ctx =
     let buf = Buffer.create 1024 in
     List.iter
       (fun name ->
         match find ctx name with
         | Some s when s.s_seen > 0 ->
-          let pn = prom_name name in
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" pn (kind_name s.s_kind));
+          let counter = s.s_kind = Counter && s.s_source = None in
+          let pn = prom_name name ^ if counter then "_total" else "" in
+          let kind = if counter then "counter" else "gauge" in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" pn kind);
           Buffer.add_string buf
-            (Printf.sprintf "%s %s %d\n" pn (float_json s.s_last_val) s.s_last_tick)
+            (Printf.sprintf "%s{series=\"%s\"} %s %d\n" pn (prom_escape name)
+               (float_json s.s_last_val) s.s_last_tick)
         | _ -> ())
       (names ctx);
     Buffer.contents buf

@@ -339,6 +339,7 @@ module Cost : sig
     | Page_cache_miss  (** page-cache fill, excluding the disk bytes *)
     | Disk_read_byte  (** one byte transferred from the backing file *)
     | Mont_word_mul  (** one Montgomery word multiply-accumulate *)
+    | Ct_limb_op  (** one limb touched by a constant-time sweep *)
     | Scan_byte  (** one byte examined by the key scanner *)
 
   type model = {
@@ -352,6 +353,7 @@ module Cost : sig
     page_cache_miss : int;
     disk_read_byte : int;
     mont_word_mul : int;
+    ct_limb_op : int;
     scan_byte : int;
   }
   (** Cost of each {!op} in simulated cycles. *)
@@ -364,8 +366,11 @@ module Cost : sig
   val default_model : model
   (** One cycle per RAM byte; faults and device ops carry large fixed
       costs; disk bytes are ~16x RAM bytes; a Montgomery word-multiply
-      is 4 cycles.  Ratios matter more than absolutes — the model is
-      deterministic, so totals are exact across runs. *)
+      is 4 cycles.  [Ct_limb_op] is priced 0 — it is a leakage witness
+      (counts land in {!by_op} and the telemetry series) covering the
+      same limbs the word-mul price already pays for.  Ratios matter
+      more than absolutes — the model is deterministic, so totals are
+      exact across runs. *)
 
   val cost : model -> op -> int
 
@@ -531,8 +536,11 @@ module Timeseries : sig
       exports tag such series with kind ["rate"]. *)
 
   val to_prometheus : ctx -> string
-  (** Prometheus-style text exposition: a [# TYPE] line plus
-      [memguard_<sanitized_name> <last_value> <tick>] per series. *)
+  (** Prometheus text exposition: a [# TYPE] line plus
+      [memguard_<sanitized_name>{series="<raw name>"} <last_value> <tick>]
+      per series.  Counters (not derived rates) carry the conventional
+      [_total] suffix; the [series] label holds the raw dotted name with
+      backslash/quote/newline escaped per the exposition format. *)
 
   val to_json : ctx -> string
   (** Canonical JSON array (name-sorted) of

@@ -9,13 +9,16 @@ type t = {
   origin : Obs.origin;
 }
 
-let bytes_of bn =
+let bytes_of ?width bn =
   if Bn.sign bn < 0 then invalid_arg "Sim_bn: negative value";
-  let s = Bn.to_bytes_be bn in
-  if s = "" then "\000" else s
+  match width with
+  | Some w -> Bn.to_bytes_be_pad bn w
+  | None ->
+    let s = Bn.to_bytes_be bn in
+    if s = "" then "\000" else s
 
-let alloc ?(origin = Obs.Bn_limbs) k proc bn =
-  let payload = bytes_of bn in
+let alloc ?(origin = Obs.Bn_limbs) ?width k proc bn =
+  let payload = bytes_of ?width bn in
   let size = String.length payload in
   let data = Kernel.malloc k proc size in
   Kernel.write_mem k proc ~addr:data payload;

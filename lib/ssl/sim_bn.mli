@@ -21,11 +21,19 @@ type t = {
       (** provenance tag for the copy held in [data] (observability) *)
 }
 
-val alloc : ?origin:Memguard_obs.Obs.origin -> Kernel.t -> Proc.t -> Memguard_bignum.Bn.t -> t
+val alloc :
+  ?origin:Memguard_obs.Obs.origin -> ?width:int ->
+  Kernel.t -> Proc.t -> Memguard_bignum.Bn.t -> t
 (** malloc a buffer in the process heap and store the value's magnitude.
     The value must be non-negative.  [origin] (default [Bn_limbs]) tags the
     copy in the trace / provenance registry: pass [Mont_cache] for
-    Montgomery-context copies, [Heap_copy] for BN_CTX temporaries. *)
+    Montgomery-context copies, [Heap_copy] for BN_CTX temporaries.
+    [width] left-pads the stored magnitude with zero bytes to a fixed
+    byte length — secret-bearing callers must pass it (key-size width)
+    so the stored length never depends on the value's leading zero
+    bytes; the default minimal encoding is for non-secret temporaries.
+    Raises [Invalid_argument] if the magnitude needs more than [width]
+    bytes. *)
 
 val value : Kernel.t -> Proc.t -> t -> Memguard_bignum.Bn.t
 (** Read the magnitude back out of simulated memory. *)

@@ -8,7 +8,14 @@ type t = {
 }
 
 let of_priv k proc (priv : Dsa.priv) =
-  { pub = Dsa.public_of_priv priv; x = Sim_bn.alloc k proc priv.Dsa.x; aligned_region = None }
+  (* x < q: store at q's byte width so leading zero bytes of the secret
+     never shrink the stored pattern (length side channel) *)
+  let open Memguard_bignum in
+  let width = (Bn.bit_length priv.Dsa.params.Dsa.q + 7) / 8 in
+  { pub = Dsa.public_of_priv priv;
+    x = Sim_bn.alloc ~width k proc priv.Dsa.x;
+    aligned_region = None
+  }
 
 let recover_priv k proc t =
   let x = Sim_bn.value k proc t.x in

@@ -16,14 +16,22 @@ type t = {
   mutable aligned_region : int option;
 }
 
+(* Secret key parts are stored at a fixed byte width derived from the
+   public modulus alone: a minimal encoding would shrink whenever a part
+   happens to have leading zero bytes — a length side channel on the
+   secret value (and an interop bug against fixed-width key formats). *)
+let part_width (priv : Rsa.priv) = (Bn.bit_length priv.Rsa.n + 7) / 8
+
 let of_priv k proc (priv : Rsa.priv) =
+  let width = part_width priv in
+  let salloc = Sim_bn.alloc ~width k proc in
   { pub = Rsa.public_of_priv priv;
-    d = Sim_bn.alloc k proc priv.Rsa.d;
-    p = Sim_bn.alloc k proc priv.Rsa.p;
-    q = Sim_bn.alloc k proc priv.Rsa.q;
-    dp = Sim_bn.alloc k proc priv.Rsa.dp;
-    dq = Sim_bn.alloc k proc priv.Rsa.dq;
-    qinv = Sim_bn.alloc k proc priv.Rsa.qinv;
+    d = salloc priv.Rsa.d;
+    p = salloc priv.Rsa.p;
+    q = salloc priv.Rsa.q;
+    dp = salloc priv.Rsa.dp;
+    dq = salloc priv.Rsa.dq;
+    qinv = salloc priv.Rsa.qinv;
     flag_cache_private = true;
     mont = Hashtbl.create 4;
     aligned_region = None
@@ -46,8 +54,13 @@ let populate_mont_cache k (proc : Proc.t) t =
   (* BN_MONT_CTX_set copies the modulus (p, q) into the context, in the
      heap of whichever process performs the operation *)
   if not (Hashtbl.mem t.mont proc.Proc.pid) then begin
-    let mp = Sim_bn.alloc ~origin:Obs.Mont_cache k proc (Sim_bn.value k proc t.p) in
-    let mq = Sim_bn.alloc ~origin:Obs.Mont_cache k proc (Sim_bn.value k proc t.q) in
+    let width = (Bn.bit_length t.pub.Rsa.n + 7) / 8 in
+    let mp =
+      Sim_bn.alloc ~origin:Obs.Mont_cache ~width k proc (Sim_bn.value k proc t.p)
+    in
+    let mq =
+      Sim_bn.alloc ~origin:Obs.Mont_cache ~width k proc (Sim_bn.value k proc t.q)
+    in
     Hashtbl.replace t.mont proc.Proc.pid (mp, mq)
   end
 
@@ -65,23 +78,27 @@ let private_op k proc t c =
   let dq = Sim_bn.value k proc t.dq in
   let qinv = Sim_bn.value k proc t.qinv in
   (* Price the modular exponentiations by the limb multiply-accumulates
-     the Mont kernels actually performed: read the host-side counter
-     around the CRT core and charge the delta.  This is the only place
+     the Mont kernels actually performed: read the host-side counters
+     around the CRT core and charge the deltas.  This is the only place
      BN arithmetic is priced — protocol-level DH/keygen math is constant
      across protection levels and would only add noise. *)
   let muls_before = Bn.Mont.word_muls () in
-  let m1 = Bn.mod_pow ~base:c ~exp:dp ~modulus:p in
-  let m2 = Bn.mod_pow ~base:c ~exp:dq ~modulus:q in
-  let h = Bn.rem (Bn.mul qinv (Bn.sub m1 m2)) p in
-  let result = Bn.add m2 (Bn.mul h q) in
+  let limbs_before = Bn.Ct.limb_traffic () in
+  (* constant-shape Garner CRT: both halves padded to the wider prime's
+     limb count, every step below the ladder branchless (Bn.Ct) *)
+  let result, m1, m2, h = Bn.Ct.crt_exp ~p ~q ~dp ~dq ~qinv c in
   let muls = Bn.Mont.word_muls () - muls_before in
+  let limbs = Bn.Ct.limb_traffic () - limbs_before in
   Obs.Cost.charge obs ~sub:"bignum" Mont_word_mul muls;
-  (* One sample per op: the fixed-window Montgomery kernels make this a
-     function of the modulus limb count alone, so the constant-time
-     leakage sentinel (a zero-spread alert over this series) can assert
-     secret-independence of the charged cost — any variance across ops,
-     or across same-size keys, fires. *)
+  Obs.Cost.charge obs ~sub:"bignum" Ct_limb_op limbs;
+  (* One sample per op: the fixed-window Montgomery kernels and the
+     fixed-width limb engine make both counts functions of the modulus
+     limb count alone, so the constant-time leakage sentinels (zero-
+     spread alerts over these series) can assert secret-independence of
+     the charged cost — any variance across ops, or across same-size
+     keys, fires. *)
   Obs.Timeseries.record obs "rsa.private_op.word_muls" (float_of_int muls);
+  Obs.Timeseries.record obs "rsa.private_op.limb_traffic" (float_of_int limbs);
   Obs.Metrics.incr obs "rsa.private_ops";
   (* BN_CTX temporaries: reduced intermediates (not key parts) that are
      freed WITHOUT zeroing — realistic allocator churn in the heap.  The

@@ -28,5 +28,6 @@ let () =
          Test_fault.suite;
         Test_fleet.suite;
          Test_telemetry.suite;
+         Test_ct.suite;
          Test_final.suite
        ])

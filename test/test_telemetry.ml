@@ -90,9 +90,21 @@ let test_exports () =
   Obs.Timeseries.define obs ~kind:Obs.Timeseries.Counter "a.b-c";
   record_at obs 3 "a.b-c" 7.;
   let prom = Obs.Timeseries.to_prometheus obs in
+  (* counters carry the conventional _total suffix, and the raw dotted
+     name rides along as an escaped label *)
   Alcotest.(check bool) "prom type line" true
-    (contains ~needle:"# TYPE memguard_a_b_c counter" prom);
-  Alcotest.(check bool) "prom sample line" true (contains ~needle:"memguard_a_b_c 7 3" prom);
+    (contains ~needle:"# TYPE memguard_a_b_c_total counter" prom);
+  Alcotest.(check bool) "prom sample line" true
+    (contains ~needle:"memguard_a_b_c_total{series=\"a.b-c\"} 7 3" prom);
+  (* gauges keep their bare name; label values are escaped per the
+     exposition format *)
+  Obs.Timeseries.define obs "g\"x\\y";
+  record_at obs 4 "g\"x\\y" 1.;
+  let prom = Obs.Timeseries.to_prometheus obs in
+  Alcotest.(check bool) "gauge keeps bare name" true
+    (contains ~needle:"# TYPE memguard_g_x_y gauge" prom);
+  Alcotest.(check bool) "label value escaped" true
+    (contains ~needle:"memguard_g_x_y{series=\"g\\\"x\\\\y\"} 1 4" prom);
   let json = Obs.Timeseries.to_json obs in
   Alcotest.(check bool) "json name" true (contains ~needle:"\"name\":\"a.b-c\"" json);
   Alcotest.(check bool) "json points" true (contains ~needle:"[3,7]" json);
@@ -239,7 +251,7 @@ let test_dashboard_telemetry_unprotected () =
       "kernel.locked_frames"; "exposure.sensitive_unsafe_byte_ticks";
       "exposure.sensitive_unsafe"; "scan.sweep_cycles"; "scan.pages_swept"; "scan.hits";
       "scan.cache_hit_rate"; "cost.total_cycles"; "cost.cycles_per_tick";
-      "cost.cycles.bignum"; "rsa.private_op.word_muls" ];
+      "cost.cycles.bignum"; "rsa.private_op.word_muls"; "rsa.private_op.limb_traffic" ];
   Alcotest.(check string) "cumulative exposure is a counter" "counter"
     (series "exposure.sensitive_unsafe_byte_ticks").Dashboard.ms_kind;
   Alcotest.(check string) "its derivative is a rate" "rate"
@@ -250,6 +262,8 @@ let test_dashboard_telemetry_unprotected () =
     (List.exists (fun a -> a.Dashboard.rule = "exposure-slo") d.Dashboard.alerts);
   Alcotest.(check bool) "constant-time sentinel stayed silent" false
     (List.exists (fun a -> a.Dashboard.rule = "ct-leakage") d.Dashboard.alerts);
+  Alcotest.(check bool) "limb-traffic sentinel stayed silent" false
+    (List.exists (fun a -> a.Dashboard.rule = "ct-leakage-limbs") d.Dashboard.alerts);
   let json = Dashboard.to_json d in
   List.iter
     (fun key ->
@@ -274,7 +288,21 @@ let test_dashboard_telemetry_integrated () =
      Alcotest.(check bool) "sensitive-unsafe rate pinned at zero" true
        (List.for_all (fun (_, v) -> v = 0.) m.Dashboard.ms_points)
    | None -> Alcotest.fail "exposure.sensitive_unsafe not sampled");
-  Alcotest.(check int) "three standing rules" 3 (List.length d.Dashboard.alert_rules)
+  Alcotest.(check int) "four standing rules" 4 (List.length d.Dashboard.alert_rules);
+  (* the limb engine's per-op traffic was sampled and showed zero spread *)
+  (match
+     List.find_opt
+       (fun m -> m.Dashboard.ms_name = "rsa.private_op.limb_traffic")
+       d.Dashboard.metrics
+   with
+   | Some m ->
+     (match m.Dashboard.ms_points with
+      | (_, v0) :: rest ->
+        Alcotest.(check bool) "limb traffic positive" true (v0 > 0.);
+        Alcotest.(check bool) "limb traffic constant across ops" true
+          (List.for_all (fun (_, v) -> v = v0) rest)
+      | [] -> Alcotest.fail "limb_traffic sampled but empty")
+   | None -> Alcotest.fail "rsa.private_op.limb_traffic not sampled")
 
 let test_html_escaping () =
   Alcotest.(check string) "html_escape" "&lt;b&gt;x&amp;y&lt;/b&gt;"
