@@ -293,11 +293,36 @@ let scan_engine_bench () =
   in
   let fleet_report = ref None in
   let t_fleet_1 = time_once (fun () -> fleet_report := Some (Fleet.run fleet_cfg)) in
+  let fleet4_report = ref None in
   let t_fleet_4 =
-    time_once (fun () -> ignore (Fleet.run { fleet_cfg with Fleet.domains = 4 }))
+    time_once (fun () ->
+        fleet4_report := Some (Fleet.run { fleet_cfg with Fleet.domains = 4 }))
   in
   let fleet = Option.get !fleet_report in
+  let fleet4 = Option.get !fleet4_report in
   let fleet_speedup = t_fleet_1 /. t_fleet_4 in
+  (* per-domain scan throughput: deterministic pages/sweeps per shard,
+     wall-clock pages/s per worker domain (warn-only in the gate) *)
+  let fleet_pages_swept =
+    List.fold_left (fun acc (s : Fleet.shard_result) -> acc + s.Fleet.pages_swept) 0
+      fleet.Fleet.shard_results
+  in
+  let fleet_sweeps =
+    List.fold_left (fun acc (s : Fleet.shard_result) -> acc + s.Fleet.sweeps) 0
+      fleet.Fleet.shard_results
+  in
+  let fleet_sweep_cycles =
+    List.fold_left
+      (fun acc (s : Fleet.shard_result) ->
+        acc
+        + (match List.assoc_opt "scan" s.Fleet.cycles_by_subsystem with
+           | Some c -> c
+           | None -> 0))
+      0 fleet.Fleet.shard_results
+  in
+  let fleet_scan_pages_per_sec =
+    float_of_int fleet_pages_swept /. Float.min t_fleet_1 t_fleet_4
+  in
   (* throughput at whichever domain count this host runs faster — a 1-core
      host loses on 4 domains, a 4-core host wins; either way the number is
      what an operator picking the right --domains would see *)
@@ -332,6 +357,18 @@ let scan_engine_bench () =
     "fleet wall time, 1 domain / 4 domains" t_fleet_1 t_fleet_4 fleet_speedup;
   Format.printf "%-44s %12.0f conns/s@." "fleet connection throughput (best domains)"
     fleet_conns_per_sec;
+  Format.printf "%-44s %12d pages in %d sweeps (%d scan cycles)@."
+    "fleet scan volume (8-shard timeline)" fleet_pages_swept fleet_sweeps fleet_sweep_cycles;
+  Format.printf "%-44s %12.0f pages/s@." "fleet scan throughput (best domains)"
+    fleet_scan_pages_per_sec;
+  List.iter
+    (fun (d : Fleet.domain_stat) ->
+      Format.printf "%-44s %12.0f pages/s  (%d pages, %d sweeps, %.6f s)@."
+        (Printf.sprintf "  domain %d scan throughput (4-domain run)" d.Fleet.domain)
+        (if d.Fleet.wall_s > 0. then float_of_int d.Fleet.d_pages_swept /. d.Fleet.wall_s
+         else 0.)
+        d.Fleet.d_pages_swept d.Fleet.d_sweeps d.Fleet.wall_s)
+    fleet4.Fleet.domain_stats;
   List.iter
     (fun (name, total, unsafe) ->
       Format.printf "%-44s %12d byte-ticks (%d sensitive outside mlock)@."
@@ -372,7 +409,11 @@ let scan_engine_bench () =
       \  \"fleet_timeline_domains_1_s\": %.6f,\n\
       \  \"fleet_timeline_domains_4_s\": %.6f,\n\
       \  \"fleet_speedup_domains_4\": %.2f,\n\
-      \  \"fleet_connections_per_sec\": %.0f%s\n\
+      \  \"fleet_connections_per_sec\": %.0f,\n\
+      \  \"fleet_scan_pages_swept\": %d,\n\
+      \  \"fleet_scan_sweeps\": %d,\n\
+      \  \"fleet_scan_sweep_cycles\": %d,\n\
+      \  \"fleet_scan_pages_per_sec\": %.0f%s\n\
        }\n"
       num_pages (List.length patterns) t_multipass t_single t_incr_idle t_timeline_seed
       t_timeline_full t_timeline_incr speedup_single speedup_timeline hit_rate dirty_ratio
@@ -383,7 +424,8 @@ let scan_engine_bench () =
       fleet.Fleet.total_connections
       fleet.Fleet.total_requests fleet.Fleet.total_cycles fleet.Fleet.sensitive_unsafe
       (Domain.recommended_domain_count ()) t_fleet_1 t_fleet_4 fleet_speedup
-      fleet_conns_per_sec
+      fleet_conns_per_sec fleet_pages_swept fleet_sweeps fleet_sweep_cycles
+      fleet_scan_pages_per_sec
       (String.concat ""
          (List.map
             (fun (name, total, unsafe) ->

@@ -604,7 +604,7 @@ let watch_cmd =
      | None -> ());
     match prom with
     | Some path ->
-      write_file path (Obs.Timeseries.to_prometheus obs);
+      write_file path (Obs.Timeseries.to_prometheus obs ^ Obs.Metrics.to_prometheus obs);
       Format.printf "wrote %s@." path
     | None -> ()
   in
@@ -628,7 +628,8 @@ let watch_cmd =
   let prom =
     Arg.(value & opt (some string) None
          & info [ "prom" ] ~docv:"FILE"
-             ~doc:"Write all series as Prometheus text exposition to $(docv).")
+             ~doc:"Write all series plus span-duration histograms as Prometheus text \
+                   exposition to $(docv).")
   in
   Cmd.v
     (Cmd.info "watch"
@@ -733,6 +734,111 @@ let inspect_cmd =
           and the exposure ledger")
     Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ scan_mode_arg
           $ tick $ breach_age)
+
+let forensics_cmd =
+  let module Obs = Memguard_obs.Obs in
+  let run level server seed pages scan_mode churn breach_age tick hit json html spans
+      chrome =
+    let obs = Obs.create ~ring_capacity:(1 lsl 20) () in
+    (match breach_age with Some a -> Obs.Exposure.set_breach_age obs (Some a) | None -> ());
+    let sys = System.create ~num_pages:pages ~seed ~scan_mode ~obs ~level () in
+    let snapshots = Timeline.run ~churn sys (timeline_server server) in
+    (match spans with
+     | Some path ->
+       write_file path (Obs.Trace.spans_to_json obs);
+       Format.printf "wrote %s (span tree)@." path
+     | None -> ());
+    (match chrome with
+     | Some path ->
+       write_file path (Obs.Trace.spans_to_chrome obs);
+       Format.printf "wrote %s (chrome trace)@." path
+     | None -> ());
+    let snap =
+      match tick with
+      | Some t ->
+        List.find_opt (fun (s : Memguard_scan.Report.snapshot) -> s.time = t) snapshots
+      | None ->
+        List.find_opt (fun (s : Memguard_scan.Report.snapshot) -> s.total > 0) snapshots
+    in
+    match snap with
+    | None ->
+      (match tick with
+       | Some t -> Format.printf "no snapshot at tick %d@." t
+       | None -> Format.printf "no scanner hits anywhere in the run; nothing to reconstruct@.");
+      exit 1
+    | Some snap ->
+      (match Forensics.of_snapshot obs snap ~hit with
+       | None ->
+         Format.printf "tick %d has %d hit(s); --hit %d is out of range@." snap.time
+           (List.length snap.hits) hit;
+         exit 1
+       | Some f ->
+         print_string (Forensics.to_string f);
+         (* the per-request budget table gives the hit's budget context *)
+         let rows = Forensics.budget_table obs in
+         Format.printf "@.per-request leak budgets (%d rows):@." (List.length rows);
+         List.iter
+           (fun (r : Forensics.budget_row) ->
+             Format.printf "  trace %-4d %-18s pid %-4d start %-4d %d byte-ticks@."
+               r.Forensics.br_trace r.Forensics.br_request r.Forensics.br_pid
+               r.Forensics.br_start_tick r.Forensics.br_byte_ticks)
+           rows;
+         (match json with
+          | Some path ->
+            write_file path (Forensics.to_json f);
+            Format.printf "wrote %s@." path
+          | None -> ());
+         (match html with
+          | Some path ->
+            write_file path (Forensics.to_html f);
+            Format.printf "wrote %s@." path
+          | None -> ()))
+  in
+  let churn =
+    Arg.(value & opt int 3 & info [ "churn" ] ~docv:"N" ~doc:"Reconnect cycles per slot per tick.")
+  in
+  let breach_age =
+    Arg.(value & opt (some int) None
+         & info [ "breach-age" ] ~docv:"TICKS" ~doc:"Arm the exposure SLO (see observe).")
+  in
+  let tick =
+    Arg.(value & opt (some int) None
+         & info [ "t"; "tick" ] ~docv:"TICK"
+             ~doc:"Investigate the scan snapshot taken at $(docv).  Default: the first \
+                   tick with any hits.")
+  in
+  let hit =
+    Arg.(value & opt int 0
+         & info [ "hit" ] ~docv:"N" ~doc:"Which hit of the snapshot to reconstruct (0-based).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the forensics report as JSON to $(docv).")
+  in
+  let html =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE" ~doc:"Write the forensics report as HTML to $(docv).")
+  in
+  let spans =
+    Arg.(value & opt (some string) None
+         & info [ "spans" ] ~docv:"FILE"
+             ~doc:"Write the full OTel-style span tree of the run as JSON to $(docv).")
+  in
+  let chrome =
+    Arg.(value & opt (some string) None
+         & info [ "chrome" ] ~docv:"FILE"
+             ~doc:"Write the causal spans as Chrome trace_event JSON (load in \
+                   chrome://tracing or Perfetto) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "forensics"
+       ~doc:
+         "Leak forensics: run the fig-5 timeline with causal tracing on, pick a scanner \
+          hit, and reconstruct its causal story — originating connection, kernel-op \
+          chain that made the copy, copy fan-out with zeroed/still-live/recycled \
+          verdicts, and the owning request's leak budget")
+    Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ scan_mode_arg
+          $ churn $ breach_age $ tick $ hit $ json $ html $ spans $ chrome)
 
 let fleet_cmd =
   let module Fleet = Memguard_fleet.Fleet in
@@ -867,6 +973,7 @@ let main =
          "Reproduction of Harrison & Xu, 'Protecting Cryptographic Keys from Memory \
           Disclosure Attacks' (DSN'07)")
     [ timeline_cmd; ext2_cmd; tty_cmd; before_after_cmd; perf_cmd; ablations_cmd; dat_cmd;
-      levels_cmd; chaos_cmd; observe_cmd; watch_cmd; overhead_cmd; inspect_cmd; fleet_cmd ]
+      levels_cmd; chaos_cmd; observe_cmd; watch_cmd; overhead_cmd; inspect_cmd;
+      forensics_cmd; fleet_cmd ]
 
 let () = Stdlib.exit (Cmd.eval main)

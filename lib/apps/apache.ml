@@ -22,7 +22,12 @@ let vanilla =
 
 type worker = { mutable proc : Proc.t; mutable handled : int; mutable busy : bool }
 
-type conn = { worker : worker; session : Tls_rsa.session }
+type conn = {
+  worker : worker;
+  session : Tls_rsa.session;
+  c_trace : int;  (** causal trace id minted for this connection *)
+  c_span : int;  (** root span id — serve/close re-enter under it *)
+}
 
 type t = {
   kernel : Kernel.t;
@@ -78,7 +83,11 @@ let open_connection t rng =
   | None -> None
   | Some w ->
     w.busy <- true;
-    Obs.Profiler.span ~pid:w.proc.Proc.pid (Kernel.obs t.kernel) "apache.connection"
+    let obs = Kernel.obs t.kernel in
+    let c_span = Obs.Trace.begin_span ~pid:w.proc.Proc.pid obs "apache.connection" in
+    let c_trace = Obs.Trace.current_trace obs in
+    Fun.protect ~finally:(fun () -> Obs.Trace.end_span obs c_span) @@ fun () ->
+    Obs.Profiler.span ~pid:w.proc.Proc.pid obs "apache.connection"
     @@ fun () ->
     Obs.Metrics.incr (Kernel.obs t.kernel) "apache.connections";
     Obs.Metrics.incr (Kernel.obs t.kernel) "apache.requests";
@@ -89,10 +98,13 @@ let open_connection t rng =
     let buf = Kernel.malloc t.kernel w.proc 2048 in
     Kernel.write_mem t.kernel w.proc ~addr:buf (Bytes.to_string (Prng.bytes rng 256));
     Kernel.free t.kernel w.proc buf;
-    Some { worker = w; session }
+    Some { worker = w; session; c_trace; c_span }
 
 let serve t conn rng ~kib =
   let w = conn.worker in
+  Obs.Trace.with_span ~pid:w.proc.Proc.pid ~trace:conn.c_trace ~parent:conn.c_span
+    (Kernel.obs t.kernel) "apache.serve"
+  @@ fun () ->
   Obs.Profiler.span ~pid:w.proc.Proc.pid (Kernel.obs t.kernel) "apache.serve"
   @@ fun () ->
   for _ = 1 to max 1 kib do
@@ -118,6 +130,9 @@ let cull_idle t =
 let close_connection t conn =
   let w = conn.worker in
   if w.busy then
+    Obs.Trace.with_span ~pid:w.proc.Proc.pid ~trace:conn.c_trace ~parent:conn.c_span
+      (Kernel.obs t.kernel) "apache.close"
+    @@ fun () ->
     Obs.Profiler.span ~pid:w.proc.Proc.pid (Kernel.obs t.kernel) "apache.close"
     @@ fun () ->
     begin

@@ -16,6 +16,8 @@ type conn = {
   child_key : Sim_rsa.t option;  (** a private copy when the child re-execed *)
   session : Ssh_kex.session;
   mutable session_bufs : int list;
+  c_trace : int;  (** causal trace id minted for this connection *)
+  c_span : int;  (** root span id — transfer/close re-enter under it *)
 }
 
 type t = {
@@ -46,8 +48,12 @@ let handshake t (proc : Proc.t) (rsa : Sim_rsa.t) rng =
 
 let open_connection t rng =
   if not t.running then invalid_arg "Sshd.open_connection: server stopped";
+  let obs = Kernel.obs t.kernel in
+  let c_span = Obs.Trace.begin_span ~pid:t.listener_proc.Proc.pid obs "sshd.connection" in
+  let c_trace = Obs.Trace.current_trace obs in
+  Fun.protect ~finally:(fun () -> Obs.Trace.end_span obs c_span) @@ fun () ->
   let child = Kernel.fork t.kernel t.listener_proc in
-  Obs.Profiler.span ~pid:child.Proc.pid (Kernel.obs t.kernel) "sshd.connection"
+  Obs.Profiler.span ~pid:child.Proc.pid obs "sshd.connection"
   @@ fun () ->
   Obs.Metrics.incr (Kernel.obs t.kernel) "sshd.connections";
   let child_key =
@@ -68,11 +74,14 @@ let open_connection t rng =
         Kernel.write_mem t.kernel child ~addr:buf (Bytes.to_string (Prng.bytes rng size));
         buf)
   in
-  let conn = { child; child_key; session; session_bufs } in
+  let conn = { child; child_key; session; session_bufs; c_trace; c_span } in
   t.conns <- conn :: t.conns;
   conn
 
 let transfer t conn rng ~kib =
+  Obs.Trace.with_span ~pid:conn.child.Proc.pid ~trace:conn.c_trace ~parent:conn.c_span
+    (Kernel.obs t.kernel) "sshd.transfer"
+  @@ fun () ->
   Obs.Profiler.span ~pid:conn.child.Proc.pid (Kernel.obs t.kernel) "sshd.transfer"
   @@ fun () ->
   for _ = 1 to max 1 kib do
@@ -84,6 +93,9 @@ let transfer t conn rng ~kib =
 let close_connection t conn =
   if List.memq conn t.conns then begin
     t.conns <- List.filter (fun c -> c != conn) t.conns;
+    Obs.Trace.with_span ~pid:conn.child.Proc.pid ~trace:conn.c_trace ~parent:conn.c_span
+      (Kernel.obs t.kernel) "sshd.close"
+    @@ fun () ->
     Obs.Profiler.span ~pid:conn.child.Proc.pid (Kernel.obs t.kernel) "sshd.close"
       (fun () -> Kernel.exit t.kernel conn.child)
   end

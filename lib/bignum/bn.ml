@@ -342,13 +342,24 @@ let rem_int t d =
   end
   else to_int (rem t (of_int d))
 
-let mod_pow_plain ~base:b ~exp ~modulus =
+(* Constant-shape ladder for moduli outside Montgomery's domain (even, or
+   single-limb): every bit of the exponent performs the square AND the
+   multiply-and-reduce, and the exponent bit only selects which result to
+   keep — so the big-number operation sequence, and thus the charged
+   cost, is a function of [bit_length exp] alone, never of its bits.
+   The select itself is a host-level branch on the bit: no secret in the
+   simulated stack ever reaches this path (RSA/DSA moduli are odd
+   primes, so secret exponentiations all ride [Mont.pow] / [Ct.crt_exp]);
+   the "mod_pow even modulus" tests pin both the correctness of this
+   fallback and that odd multi-limb moduli keep routing to Montgomery. *)
+let mod_pow_const_shape ~base:b ~exp ~modulus =
   let b = rem b modulus in
-  let result = ref one in
+  let result = ref (rem one modulus) in
   let nbits = bit_length exp in
   for i = nbits - 1 downto 0 do
-    result := rem (sqr !result) modulus;
-    if test_bit exp i then result := rem (mul !result b) modulus
+    let sq = rem (sqr !result) modulus in
+    let sq_mul = rem (mul sq b) modulus in
+    result := (if test_bit exp i then sq_mul else sq)
   done;
   !result
 
@@ -830,8 +841,11 @@ let mod_pow ~base:b ~exp ~modulus =
   else if is_odd modulus && Array.length modulus.mag > 1 then
     match mont_ctx modulus with
     | Some ctx -> Mont.pow ctx ~base:(rem b modulus) ~exp
-    | None -> mod_pow_plain ~base:b ~exp ~modulus
-  else mod_pow_plain ~base:b ~exp ~modulus
+    | None -> mod_pow_const_shape ~base:b ~exp ~modulus
+  else
+    (* even or single-limb modulus: Montgomery reduction needs gcd(m, R)=1,
+       so take the constant-shape ladder instead of the branchy plain path *)
+    mod_pow_const_shape ~base:b ~exp ~modulus
 
 (* ---- public constant-time fixed-width wrappers ---- *)
 

@@ -87,8 +87,14 @@ val rem_int : t -> int -> int
 
 val mod_pow : base:t -> exp:t -> modulus:t -> t
 (** [mod_pow ~base ~exp ~modulus] with [exp >= 0], [modulus > 0].
-    Uses Montgomery exponentiation for odd moduli (what OpenSSL's
-    [BN_MONT_CTX] buys), plain square-and-multiply otherwise. *)
+    Odd multi-limb moduli ride Montgomery exponentiation (what OpenSSL's
+    [BN_MONT_CTX] buys); even or single-limb moduli — outside
+    Montgomery's gcd(m, R) = 1 domain — take a constant-shape
+    square-and-always-multiply ladder whose operation sequence depends
+    only on [bit_length exp], never on its bits.  No secret in the
+    simulated stack reaches the fallback (RSA/DSA moduli are odd
+    primes); the even-modulus tests pin both the routing and the
+    fallback's correctness. *)
 
 (** Montgomery arithmetic (REDC), exposed for callers that reuse a context
     across many exponentiations — the real-world behaviour behind the

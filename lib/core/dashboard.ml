@@ -44,6 +44,7 @@ type t = {
   metrics : metric_series list;
   alert_rules : (string * string * Obs.Alert.condition) list;
   alerts : alert_firing list;
+  budgets : Forensics.budget_row list;
 }
 
 let server_name = function Timeline.Ssh -> "ssh" | Timeline.Http -> "http"
@@ -128,7 +129,8 @@ let run ?(level = Protection.Unprotected) ?(num_pages = 8192) ?(seed = 1)
     cycles_by_subsystem = Obs.Cost.by_subsystem obs;
     metrics = collect_metrics obs;
     alert_rules = Obs.Alert.rules obs;
-    alerts = collect_alerts obs
+    alerts = collect_alerts obs;
+    budgets = Forensics.budget_table obs
   }
 
 (* ---- derived views ---- *)
@@ -250,6 +252,14 @@ let to_json t =
       comma_sep (fun (tick, v) -> add "[%d,%s]" tick (Obs.float_json v)) m.ms_points;
       add "]}")
     t.metrics;
+  add "],\n";
+  add "  \"leak_budgets\": [";
+  comma_sep
+    (fun (b : Forensics.budget_row) ->
+      add "{\"trace\":%d,\"request\":\"%s\",\"pid\":%d,\"start_tick\":%d,\"byte_ticks\":%d}"
+        b.Forensics.br_trace (json_escape b.Forensics.br_request) b.Forensics.br_pid
+        b.Forensics.br_start_tick b.Forensics.br_byte_ticks)
+    t.budgets;
   add "],\n";
   add "  \"alert_rules\": [";
   comma_sep
@@ -478,6 +488,20 @@ let to_html t =
            b.pid b.addr b.len b.age)
        bs;
      add "</table>\n");
+  (* per-request leak budgets *)
+  add "<h2>Per-request leak budgets</h2>\n";
+  (match t.budgets with
+   | [] -> add "<p class=\"ok\">no sensitive exposure attributed to any request</p>\n"
+   | bs ->
+     add
+       "<table><tr><th>trace</th><th>request</th><th>pid</th><th>start tick</th><th>byte&middot;ticks</th></tr>";
+     List.iter
+       (fun (b : Forensics.budget_row) ->
+         add "<tr><td>%d</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td></tr>"
+           b.Forensics.br_trace (html_escape b.Forensics.br_request) b.Forensics.br_pid
+           b.Forensics.br_start_tick b.Forensics.br_byte_ticks)
+       bs;
+     add "</table>\n");
   (* telemetry panels: one sparkline per series *)
   add "<h2>Telemetry (per-tick series)</h2>\n";
   (match t.metrics with
@@ -530,6 +554,16 @@ let pp_summary fmt t =
       Format.fprintf fmt "  %-12s %-12s %12d@." (Obs.origin_name o) (Obs.class_name c) v)
     t.totals;
   Format.fprintf fmt "breaches: %d@." (List.length t.breaches);
+  (match t.budgets with
+   | [] -> ()
+   | bs ->
+     Format.fprintf fmt "per-request leak budgets:@.";
+     List.iter
+       (fun (b : Forensics.budget_row) ->
+         Format.fprintf fmt "  trace %-4d %-18s pid %-4d %12d byte-ticks@."
+           b.Forensics.br_trace b.Forensics.br_request b.Forensics.br_pid
+           b.Forensics.br_byte_ticks)
+       bs);
   Format.fprintf fmt "alerts fired: %d%s@." (List.length t.alerts)
     (match t.alerts with
      | [] -> ""

@@ -60,6 +60,10 @@ type t = {
   alert_rules : (string * string * Obs.Alert.condition) list;
       (** installed rules as (name, series, condition), install order *)
   alerts : alert_firing list;  (** chronological alert firings *)
+  budgets : Forensics.budget_row list;
+      (** per-request leak budgets (trace-id sorted); the rows sum exactly
+          to [sensitive_unsafe_total] — both sides are accumulated by the
+          same exposure-ledger pass *)
 }
 
 val install_default_alerts : Obs.ctx -> unit

@@ -58,6 +58,21 @@ type shard_result = {
   events : event list;
   connections : int;
   requests : int;
+  budgets : Forensics.budget_row list;
+  pages_swept : int;
+  sweeps : int;
+}
+
+(* wall-clock throughput of one worker domain: everything here depends on
+   the host machine and the scheduler, so it must never reach [to_json]
+   (the fingerprint would stop being a pure function of the config) *)
+type domain_stat = {
+  domain : int;
+  shards_run : int list;
+  d_pages_swept : int;
+  d_sweeps : int;
+  d_sweep_cycles : int;
+  wall_s : float;
 }
 
 type report = {
@@ -68,6 +83,7 @@ type report = {
   total_requests : int;
   total_cycles : int;
   sensitive_unsafe : int;
+  domain_stats : domain_stat list;
 }
 
 let mix_name = function Ssh_only -> "ssh" | Http_only -> "http" | Mixed -> "mixed"
@@ -133,7 +149,10 @@ let run_shard cfg shard_id =
     alerts = Dashboard.collect_alerts obs;
     events;
     connections = counter "sshd.connections" + counter "apache.connections";
-    requests = counter "sshd.requests" + counter "apache.requests"
+    requests = counter "sshd.requests" + counter "apache.requests";
+    budgets = Forensics.budget_table obs;
+    pages_swept = counter "scan.pages_swept";
+    sweeps = counter "scan.runs"
   }
 
 (* ---- merge helpers: shard order is the merge order, so every fold below
@@ -245,6 +264,16 @@ let merge_alerts shards =
          compare (a.Dashboard.fired_tick, sa, a.Dashboard.rule)
            (b.Dashboard.fired_tick, sb, b.Dashboard.rule))
 
+(* per-request leak budgets, merged by (root start tick, shard, trace):
+   the key is simulated state only, so the merged table is deterministic
+   regardless of which domain ran which shard *)
+let merge_budgets shards =
+  List.concat_map (fun s -> List.map (fun b -> (s.shard_id, b)) s.budgets) shards
+  |> List.sort (fun (sa, (a : Forensics.budget_row)) (sb, b) ->
+         compare
+           (a.Forensics.br_start_tick, sa, a.Forensics.br_trace)
+           (b.Forensics.br_start_tick, sb, b.Forensics.br_trace))
+
 let sensitive_unsafe_of totals =
   List.fold_left
     (fun acc ((o, c), v) ->
@@ -257,31 +286,59 @@ let run cfg =
   let n = max 1 cfg.shards in
   let workers = max 1 (min cfg.domains n) in
   let results = Array.make n None in
-  if workers <= 1 then
+  (* per-domain throughput accounting: which shards each worker ran and
+     how long it took.  Wall-clock and scheduling-dependent by nature, so
+     it is reported alongside — never inside — the canonical JSON. *)
+  let ran = Array.make workers [] in
+  let walls = Array.make workers 0. in
+  if workers <= 1 then begin
+    let t0 = Unix.gettimeofday () in
     for i = 0 to n - 1 do
-      results.(i) <- Some (run_shard cfg i)
-    done
+      results.(i) <- Some (run_shard cfg i);
+      ran.(0) <- i :: ran.(0)
+    done;
+    walls.(0) <- Unix.gettimeofday () -. t0
+  end
   else begin
     (* work-stealing over shard ids: assignment of shard to domain is
        scheduling-dependent, but each cell is written exactly once with a
        value that depends only on (cfg, i), so the merged result is not *)
     let next = Atomic.make 0 in
-    let worker () =
+    let worker w () =
+      let t0 = Unix.gettimeofday () in
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           results.(i) <- Some (run_shard cfg i);
+          ran.(w) <- i :: ran.(w);
           loop ()
         end
       in
-      loop ()
+      loop ();
+      walls.(w) <- Unix.gettimeofday () -. t0
     in
-    let domains = List.init workers (fun _ -> Domain.spawn worker) in
+    let domains = List.init workers (fun w -> Domain.spawn (worker w)) in
     List.iter Domain.join domains
   end;
   let shard_results =
     Array.to_list results
     |> List.map (function Some r -> r | None -> assert false)
+  in
+  let domain_stats =
+    List.init workers (fun w ->
+        let shards_run = List.sort compare ran.(w) in
+        let of_shards f =
+          List.fold_left (fun acc i -> acc + f (List.nth shard_results i)) 0 shards_run
+        in
+        { domain = w;
+          shards_run;
+          d_pages_swept = of_shards (fun s -> s.pages_swept);
+          d_sweeps = of_shards (fun s -> s.sweeps);
+          d_sweep_cycles =
+            of_shards (fun s ->
+                Option.value (List.assoc_opt "scan" s.cycles_by_subsystem) ~default:0);
+          wall_s = walls.(w)
+        })
   in
   let merged_events =
     List.concat_map (fun s -> s.events) shard_results
@@ -295,7 +352,8 @@ let run cfg =
     total_requests = sum (fun s -> s.requests);
     total_cycles = sum (fun s -> s.cycles);
     sensitive_unsafe =
-      sensitive_unsafe_of (merge_assoc (List.map (fun s -> s.totals) shard_results))
+      sensitive_unsafe_of (merge_assoc (List.map (fun s -> s.totals) shard_results));
+    domain_stats
   }
 
 (* ---- dashboard projection ---- *)
@@ -326,7 +384,8 @@ let dashboard r =
       (let obs = Obs.create () in
        Dashboard.install_default_alerts obs;
        Obs.Alert.rules obs);
-    alerts = List.map snd (merge_alerts shards)
+    alerts = List.map snd (merge_alerts shards);
+    budgets = List.map snd (merge_budgets shards)
   }
 
 let inspect_shard cfg ~shard ~tick =
@@ -428,6 +487,18 @@ let to_json r =
            (Obs.float_json a.Dashboard.value)))
     (merge_alerts r.shard_results);
   add "\n  ],\n";
+  add "  \"leak_budgets\": [\n";
+  List.iteri
+    (fun i (shard, (b : Forensics.budget_row)) ->
+      if i > 0 then add ",\n";
+      add
+        (Printf.sprintf
+           "    {\"tick\": %d, \"shard\": %d, \"trace\": %d, \"request\": \"%s\", \
+            \"pid\": %d, \"byte_ticks\": %d}"
+           b.Forensics.br_start_tick shard b.Forensics.br_trace b.Forensics.br_request
+           b.Forensics.br_pid b.Forensics.br_byte_ticks))
+    (merge_budgets r.shard_results);
+  add "\n  ],\n";
   add "  \"copies_by_tick\": [\n";
   List.iteri
     (fun i (sn : Report.snapshot) ->
@@ -494,5 +565,28 @@ let pp_summary fmt r =
   Format.fprintf fmt "connections: %d  requests: %d@." r.total_connections r.total_requests;
   Format.fprintf fmt "simulated cycles: %d@." r.total_cycles;
   Format.fprintf fmt "sensitive unsafe byte-ticks: %d@." r.sensitive_unsafe;
+  (let budgets = merge_budgets r.shard_results in
+   if budgets <> [] then begin
+     Format.fprintf fmt "per-request leak budgets (top 10 of %d):@." (List.length budgets);
+     List.iteri
+       (fun i (shard, (b : Forensics.budget_row)) ->
+         if i < 10 then
+           Format.fprintf fmt "  t%-3d shard %-2d trace %-4d %-18s %12d byte-ticks@."
+             b.Forensics.br_start_tick shard b.Forensics.br_trace b.Forensics.br_request
+             b.Forensics.br_byte_ticks)
+       (List.sort
+          (fun (_, (a : Forensics.budget_row)) (_, b) ->
+            compare b.Forensics.br_byte_ticks a.Forensics.br_byte_ticks)
+          budgets)
+   end);
+  List.iter
+    (fun d ->
+      Format.fprintf fmt
+        "domain %d: shards [%s] swept %d pages in %d sweeps (%d scan cycles) in %.3fs — %.0f pages/s@."
+        d.domain
+        (String.concat ";" (List.map string_of_int d.shards_run))
+        d.d_pages_swept d.d_sweeps d.d_sweep_cycles d.wall_s
+        (if d.wall_s > 0. then float_of_int d.d_pages_swept /. d.wall_s else 0.))
+    r.domain_stats;
   Format.fprintf fmt "events: %d  fingerprint: %s@."
     (List.length r.merged_events) (fingerprint r)

@@ -76,6 +76,23 @@ type shard_result = {
   events : event list;
   connections : int;  (** sshd + apache connections opened on this shard *)
   requests : int;
+  budgets : Memguard.Forensics.budget_row list;
+      (** per-request leak budgets of this shard (trace-id sorted) *)
+  pages_swept : int;  (** pages the scanner swept on this shard *)
+  sweeps : int;  (** scan passes run on this shard *)
+}
+
+(** Wall-clock throughput of one worker domain.  Scheduling- and
+    host-dependent by nature: reported in {!pp_summary} (and the bench
+    riders) but deliberately excluded from {!to_json}, so the
+    fingerprint stays a pure function of the config. *)
+type domain_stat = {
+  domain : int;
+  shards_run : int list;  (** ascending shard ids this domain executed *)
+  d_pages_swept : int;
+  d_sweeps : int;
+  d_sweep_cycles : int;  (** simulated cycles of the ["scan"] subsystem *)
+  wall_s : float;
 }
 
 type report = {
@@ -87,6 +104,7 @@ type report = {
   total_cycles : int;
   sensitive_unsafe : int;
       (** merged byte·ticks of sensitive origins outside mlocked-anon *)
+  domain_stats : domain_stat list;  (** one per worker domain *)
 }
 
 val run_shard : config -> int -> shard_result
@@ -120,9 +138,11 @@ val inspect_shard : config -> shard:int -> tick:int -> string
 val to_json : report -> string
 (** Canonical machine-readable report: config, per-shard summaries,
     merged totals, merged telemetry series, alert firings (tagged with
-    their shard) and the merged event stream.  Deterministic — contains
-    no wall-clock times, hashes or addresses of OCaml values — so equal
-    fleets render equal bytes; {!fingerprint} digests it. *)
+    their shard), per-request leak budgets (merged by
+    [(tick, shard, trace)]) and the merged event stream.  Deterministic —
+    contains no wall-clock times, hashes or addresses of OCaml values —
+    so equal fleets render equal bytes; {!fingerprint} digests it.
+    [domain_stats] is intentionally absent. *)
 
 val to_html : report -> string
 (** Self-contained HTML: the merged {!dashboard} rendered by

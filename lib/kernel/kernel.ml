@@ -119,6 +119,7 @@ let try_swap_out t =
   match t.swap with
   | None -> false
   | Some sw ->
+    Obs.Trace.causal t.obs "kernel.swap_out" @@ fun () ->
     (* victim: lowest-pid process, lowest-vpn unlocked exclusive anon page *)
     let exception Done in
     let found = ref false in
@@ -181,6 +182,7 @@ let rec alloc_frame t =
 let vpn_of_vaddr t vaddr = vaddr / t.cfg.page_size
 
 let map_anon_page t (p : Proc.t) ~vpn =
+  Obs.Trace.causal t.obs ~pid:p.Proc.pid "kernel.fault" @@ fun () ->
   let pfn = alloc_frame t in
   Obs.Cost.charge t.obs ~sub:"kernel" Page_fault 1;
   Obs.Cost.charge t.obs ~sub:"kernel" Byte_zeroed t.cfg.page_size;
@@ -194,6 +196,7 @@ let map_anon_page t (p : Proc.t) ~vpn =
   Hashtbl.replace p.Proc.page_table vpn (Proc.Present { pfn; cow = false; locked = false })
 
 let swap_in t (p : Proc.t) ~vpn ~slot =
+  Obs.Trace.causal t.obs ~pid:p.Proc.pid "kernel.swap_in" @@ fun () ->
   let sw = Option.get t.swap in
   let pfn = alloc_frame t in
   let content = swap_transform t ~slot (Swap.load sw slot) in
@@ -234,6 +237,7 @@ let frame_has_locked_pte t pfn =
     (live_procs t)
 
 let cow_break t ~pid (pr : Proc.present) =
+  Obs.Trace.causal t.obs ~pid "kernel.cow_break" @@ fun () ->
   let page = Phys_mem.page t.mem pr.Proc.pfn in
   if page.Page.refcount > 1 then begin
     let src_pfn = pr.Proc.pfn in
@@ -308,6 +312,7 @@ let read_mem t (p : Proc.t) ~addr ~len =
    physical ranges (the COW break, if one fires, has already cloned the
    shared frame, so only the writer's private copy is retired) *)
 let zero_mem t (p : Proc.t) ~addr ~len =
+  Obs.Trace.causal t.obs ~pid:p.Proc.pid "kernel.zero_mem" @@ fun () ->
   let ps = t.cfg.page_size in
   let pos = ref 0 in
   while !pos < len do
@@ -456,6 +461,7 @@ let spawn t ~name =
   p
 
 let fork t (parent : Proc.t) =
+  Obs.Trace.causal t.obs ~pid:parent.Proc.pid "kernel.fork" @@ fun () ->
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
   let child = Proc.create ~pid ~name:parent.Proc.name ~parent:(Some parent.Proc.pid) in
@@ -532,6 +538,7 @@ let exit t (p : Proc.t) =
 let write_file t ~path content = Fs.write_file t.fs ~path content
 
 let read_file t (p : Proc.t) ~path ~nocache =
+  Obs.Trace.causal t.obs ~pid:p.Proc.pid "kernel.read_file" @@ fun () ->
   match Fs.ino_of_path t.fs path with
   | None -> raise Not_found
   | Some ino ->

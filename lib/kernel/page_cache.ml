@@ -27,6 +27,7 @@ let lookup t ~ino ~index =
   | None -> None
 
 let drop_frame t ~ino ~index pfn =
+  Obs.Trace.causal t.obs "page_cache.evict" @@ fun () ->
   (* remove_from_page_cache + clear_highpage + __free_pages *)
   Obs.Cost.charge t.obs ~sub:"page_cache" ~origin:Obs.Page_cache Byte_zeroed
     (Phys_mem.page_size t.mem);
@@ -48,6 +49,7 @@ let insert t ~ino ~index content =
   match Buddy.alloc_page t.buddy with
   | None -> None
   | Some pfn ->
+    Obs.Trace.causal t.obs "page_cache.insert" @@ fun () ->
     Obs.Cost.charge t.obs ~sub:"page_cache" ~origin:Obs.Page_cache Page_cache_miss 1;
     Obs.Cost.charge t.obs ~sub:"page_cache" ~origin:Obs.Page_cache Disk_read_byte
       (String.length content);

@@ -68,7 +68,10 @@ type event =
     }
   | Alert_fired of { rule : string; series : string; value : float }
 
-type record = { seq : int; tick : int; event : event }
+(* every ring record carries the causal trace/span active when it was
+   emitted (0 = untraced), so scanner hits, breaches and alert firings
+   can be joined back to the request that caused them *)
+type record = { seq : int; tick : int; event : event; trace : int; span : int }
 
 (* Floats in exports print as integers when they are integral: series
    values are mostly exact counts, and the fixed form keeps canonical
@@ -77,9 +80,36 @@ let float_json f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6g" f
 
-type info = { origin : origin; pid : int; birth_tick : int }
+(* [birth_trace]/[birth_span] name the request-scoped causal span that
+   created the copy; clones made by blit/stash/restore inherit them, so
+   the whole fan-out of a key attributes to the originating request *)
+type info = {
+  origin : origin;
+  pid : int;
+  birth_tick : int;
+  birth_trace : int;
+  birth_span : int;
+}
 
 type interval = { start : int; ilen : int; info : info }
+
+(* ---- causal trace spans (see Trace below) ---- *)
+
+(* Request-scoped causal spans are separate from the profiler's span tree:
+   the profiler aggregates *where cycles go* per call path, while a trace
+   span records *which request caused which operation* — a tree keyed by
+   deterministic per-ctx ids, exportable as an OTel-style span list. *)
+type tspan = {
+  ts_trace : int;  (* owning trace id; the root span's id names the trace *)
+  ts_span : int;
+  ts_parent : int;  (* 0 for a trace root *)
+  ts_name : string;
+  ts_pid : int;
+  ts_start_tick : int;
+  ts_start_cycles : int;
+  mutable ts_end_tick : int;  (* -1 while open *)
+  mutable ts_end_cycles : int;
+}
 
 (* one frame-bounded slice of a provenance interval, as the exposure
    ledger integrates it; [ccls]/[cgen] cache the classification and the
@@ -245,6 +275,17 @@ type ctx = {
   mutable derived_ : (string * string) list;  (* (source, derived name) *)
   mutable rules_ : alert_rule list;  (* install order *)
   mutable firings_ : firing list;  (* newest first *)
+  (* causal tracing: ids come from per-ctx counters (never the wall clock
+     or any RNG), so trace exports and fleet fingerprints stay
+     byte-identical across runs and domain counts *)
+  mutable trace_next_ : int;  (* next trace id; 0 means "untraced" *)
+  mutable span_next_ : int;  (* next causal span id; 0 means "no span" *)
+  mutable tstack_ : tspan list;  (* open causal spans, innermost first *)
+  mutable tspans_ : tspan list;  (* completed causal spans, newest first *)
+  trace_cycles_ : (int, int ref) Hashtbl.t;  (* trace -> cycles charged *)
+  trace_leak_ : (int, int ref) Hashtbl.t;
+      (* trace -> sensitive byte-ticks outside mlocked-anon (the
+         per-request leak budget; key 0 holds untraced exposure) *)
 }
 
 (* One simulated cycle is one byte moved by the CPU; everything else is
@@ -310,7 +351,13 @@ let make ~enabled ~capacity =
     series_ = Hashtbl.create 32;
     derived_ = [];
     rules_ = [];
-    firings_ = []
+    firings_ = [];
+    trace_next_ = 1;
+    span_next_ = 1;
+    tstack_ = [];
+    tspans_ = [];
+    trace_cycles_ = Hashtbl.create 16;
+    trace_leak_ = Hashtbl.create 16
   }
 
 let null = make ~enabled:false ~capacity:0
@@ -326,9 +373,144 @@ let tick ctx = ctx.tick_
 (* ---- trace ---- *)
 
 module Trace = struct
+  (* ---- causal span context ---- *)
+
+  let current_trace ctx = match ctx.tstack_ with s :: _ -> s.ts_trace | [] -> 0
+  let current_span ctx = match ctx.tstack_ with s :: _ -> s.ts_span | [] -> 0
+  let active ctx = ctx.tstack_ <> []
+  let trace_count ctx = ctx.trace_next_ - 1
+
+  (* Open a causal span.  With no [?trace] and no span already open, a
+     fresh trace is minted and this span becomes its root; otherwise the
+     span joins the given (or enclosing) trace.  [?parent] lets a caller
+     re-enter a trace whose root closed earlier (an sshd/apache connection
+     spans several calls): pass the connection's root span id.  Returns
+     the span id, 0 when observability is off. *)
+  let begin_span ?(pid = 0) ?trace ?parent ctx name =
+    if not ctx.enabled_ then 0
+    else begin
+      let parent_span =
+        match parent with Some p -> p | None -> current_span ctx
+      in
+      let trace_id =
+        match trace with
+        | Some t -> t
+        | None -> (
+          match ctx.tstack_ with
+          | s :: _ -> s.ts_trace
+          | [] ->
+            let t = ctx.trace_next_ in
+            ctx.trace_next_ <- t + 1;
+            t)
+      in
+      let span = ctx.span_next_ in
+      ctx.span_next_ <- span + 1;
+      ctx.tstack_ <-
+        { ts_trace = trace_id;
+          ts_span = span;
+          ts_parent = parent_span;
+          ts_name = name;
+          ts_pid = pid;
+          ts_start_tick = ctx.tick_;
+          ts_start_cycles = ctx.cycles_;
+          ts_end_tick = -1;
+          ts_end_cycles = -1
+        }
+        :: ctx.tstack_;
+      span
+    end
+
+  let end_span ctx span =
+    if ctx.enabled_ && span <> 0
+       && List.exists (fun s -> s.ts_span = span) ctx.tstack_
+    then begin
+      (* close down to and including [span]: an escaping exception may
+         leave inner spans open, and they belong to the closing scope *)
+      let rec pop = function
+        | [] -> []
+        | s :: rest ->
+          s.ts_end_tick <- ctx.tick_;
+          s.ts_end_cycles <- ctx.cycles_;
+          ctx.tspans_ <- s :: ctx.tspans_;
+          if s.ts_span = span then rest else pop rest
+      in
+      ctx.tstack_ <- pop ctx.tstack_
+    end
+
+  let with_span ?pid ?trace ?parent ctx name f =
+    if not ctx.enabled_ then f ()
+    else begin
+      let s = begin_span ?pid ?trace ?parent ctx name in
+      Fun.protect ~finally:(fun () -> end_span ctx s) f
+    end
+
+  (* Record a causal child span only when a request trace is already
+     active.  Kernel paths call this on every operation; untraced work
+     (boot noise, background churn, scans) must not mint spurious traces
+     or flood the span list. *)
+  let causal ?pid ctx name f =
+    if ctx.enabled_ && ctx.tstack_ <> [] then with_span ?pid ctx name f else f ()
+
+  type span_info = {
+    sp_trace : int;
+    sp_id : int;
+    sp_parent : int;
+    sp_name : string;
+    sp_pid : int;
+    sp_start_tick : int;
+    sp_end_tick : int;
+    sp_start_cycles : int;
+    sp_end_cycles : int;
+  }
+
+  (* all causal spans, id order; still-open spans export with the current
+     clock as their end so a mid-run export renders them *)
+  let spans ctx =
+    let conv (s : tspan) =
+      { sp_trace = s.ts_trace;
+        sp_id = s.ts_span;
+        sp_parent = s.ts_parent;
+        sp_name = s.ts_name;
+        sp_pid = s.ts_pid;
+        sp_start_tick = s.ts_start_tick;
+        sp_end_tick = (if s.ts_end_tick < 0 then ctx.tick_ else s.ts_end_tick);
+        sp_start_cycles = s.ts_start_cycles;
+        sp_end_cycles = (if s.ts_end_cycles < 0 then ctx.cycles_ else s.ts_end_cycles)
+      }
+    in
+    List.map conv (ctx.tstack_ @ ctx.tspans_)
+    |> List.sort (fun a b -> compare a.sp_id b.sp_id)
+
+  let root_of_trace ctx trace =
+    List.find_opt (fun s -> s.sp_trace = trace && s.sp_parent = 0) (spans ctx)
+
+  let span_of_id ctx id = List.find_opt (fun s -> s.sp_id = id) (spans ctx)
+
+  let trace_cycles ctx =
+    Hashtbl.fold (fun t r acc -> (t, !r) :: acc) ctx.trace_cycles_ []
+    |> List.sort compare
+
+  (* per-request leak budget: sensitive byte-ticks outside mlocked-anon,
+     attributed to the trace whose span registered the copy.  Summing the
+     budgets reproduces the exposure ledger's sensitive-unsafe total
+     exactly — both are accumulated by the same [Exposure.advance] pass. *)
+  let leak_budget ctx =
+    Hashtbl.fold (fun t r acc -> (t, !r) :: acc) ctx.trace_leak_ []
+    |> List.filter (fun (_, v) -> v > 0)
+    |> List.sort compare
+
+  (* ---- event ring ---- *)
+
   let emit ctx event =
     if ctx.enabled_ then begin
-      let r = { seq = ctx.next_seq; tick = ctx.tick_; event } in
+      let r =
+        { seq = ctx.next_seq;
+          tick = ctx.tick_;
+          event;
+          trace = current_trace ctx;
+          span = current_span ctx
+        }
+      in
       ctx.ring.(ctx.next_seq mod ctx.capacity) <- Some r;
       ctx.next_seq <- ctx.next_seq + 1
     end
@@ -395,6 +577,8 @@ module Trace = struct
     String.concat ","
       (Printf.sprintf "{\"seq\":%d" r.seq
        :: Printf.sprintf "\"tick\":%d" r.tick
+       :: Printf.sprintf "\"trace\":%d" r.trace
+       :: Printf.sprintf "\"span\":%d" r.span
        :: Printf.sprintf "\"event\":%S" name
        :: List.map json_field fields)
     ^ "}"
@@ -468,7 +652,87 @@ module Trace = struct
     done;
     Buffer.add_string buf "\n]\n";
     Buffer.contents buf
+
+  (* OTel-style span list: one object per causal span, id order, with
+     trace_id / span_id / parent_span_id and both clocks (ticks and
+     simulated cycles).  Canonical JSON — safe to fingerprint. *)
+  let spans_to_json ctx =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "[";
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"trace_id\":%d,\"span_id\":%d,\"parent_span_id\":%d,\"name\":%S,\"pid\":%d,\"start_tick\":%d,\"end_tick\":%d,\"start_cycles\":%d,\"end_cycles\":%d}"
+             s.sp_trace s.sp_id s.sp_parent s.sp_name s.sp_pid s.sp_start_tick
+             s.sp_end_tick s.sp_start_cycles s.sp_end_cycles))
+      (spans ctx);
+    Buffer.add_string buf "\n]\n";
+    Buffer.contents buf
+
+  (* Chrome-trace view of the causal spans on the simulated-cycle clock:
+     each trace renders as its own process row (pid = trace id), so the
+     kernel operations a request caused nest under that request's root
+     span rather than under the simulated process that ran them. *)
+  let spans_to_chrome ctx =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "[";
+    let first = ref true in
+    let emit_obj s =
+      Buffer.add_string buf (if !first then "\n " else ",\n ");
+      first := false;
+      Buffer.add_string buf s
+    in
+    let ss = spans ctx in
+    List.iter
+      (fun s ->
+        if s.sp_parent = 0 then
+          emit_obj
+            (Printf.sprintf
+               "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%S}}"
+               s.sp_trace
+               (Printf.sprintf "trace %d: %s" s.sp_trace s.sp_name)))
+      ss;
+    List.iter
+      (fun s ->
+        emit_obj
+          (Printf.sprintf
+             "{\"name\":%S,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":0,\"args\":{\"span\":%d,\"parent\":%d,\"sim_pid\":%d,\"start_tick\":%d}}"
+             s.sp_name s.sp_start_cycles
+             (max 1 (s.sp_end_cycles - s.sp_start_cycles))
+             s.sp_trace s.sp_id s.sp_parent s.sp_pid s.sp_start_tick))
+      ss;
+    Buffer.add_string buf "\n]\n";
+    Buffer.contents buf
 end
+
+(* ---- prometheus exposition helpers (shared by Metrics and Timeseries) ---- *)
+
+let prom_name name =
+  let b = Buffer.create (String.length name + 9) in
+  Buffer.add_string b "memguard_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+(* Label values per the exposition format: backslash, double quote and
+   newline must be escaped inside the quoted string. *)
+let prom_escape v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
 
 (* ---- metrics ---- *)
 
@@ -561,12 +825,58 @@ module Metrics = struct
       (histograms ctx);
     Buffer.add_string buf "\n  }\n}\n";
     Buffer.contents buf
+
+  (* Fixed decade bucket ladder for the _bucket exposition below: span
+     durations are simulated cycles, which range from a few hundred (a
+     cache probe) to hundreds of millions (a full timeline), so powers of
+     ten cover every span name with one shared, deterministic ladder. *)
+  let bucket_bounds = [ 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8 ]
+
+  (* Prometheus text exposition of every histogram as cumulative _bucket
+     lines plus _sum and _count, timestamped with the simulation tick —
+     the standard histogram triple, so span-duration distributions (fed
+     per span name by [Profiler.exit]) graph directly in Grafana. *)
+  let to_prometheus ctx =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun name ->
+        let vs = samples ctx name in
+        if vs <> [] then begin
+          let pn = prom_name name in
+          let esc = prom_escape name in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" pn);
+          List.iter
+            (fun le ->
+              let n = List.length (List.filter (fun v -> v <= le) vs) in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{series=\"%s\",le=\"%s\"} %d %d\n" pn esc
+                   (float_json le) n ctx.tick_))
+            bucket_bounds;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{series=\"%s\",le=\"+Inf\"} %d %d\n" pn esc
+               (List.length vs) ctx.tick_);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum{series=\"%s\"} %s %d\n" pn esc
+               (float_json (List.fold_left ( +. ) 0. vs))
+               ctx.tick_);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count{series=\"%s\"} %d %d\n" pn esc (List.length vs)
+               ctx.tick_)
+        end)
+      (histograms ctx);
+    Buffer.contents buf
 end
 
 (* ---- provenance ---- *)
 
 module Provenance = struct
-  type nonrec info = info = { origin : origin; pid : int; birth_tick : int }
+  type nonrec info = info = {
+    origin : origin;
+    pid : int;
+    birth_tick : int;
+    birth_trace : int;
+    birth_span : int;
+  }
 
   (* birth-to-zeroed lifetime histogram, fed by [clear] *)
   let record_lifetime ctx (info : info) =
@@ -602,7 +912,16 @@ module Provenance = struct
     if ctx.enabled_ && len > 0 then begin
       clear ctx ~addr ~len;
       ctx.intervals <-
-        { start = addr; ilen = len; info = { origin; pid; birth_tick = ctx.tick_ } }
+        { start = addr;
+          ilen = len;
+          info =
+            { origin;
+              pid;
+              birth_tick = ctx.tick_;
+              birth_trace = Trace.current_trace ctx;
+              birth_span = Trace.current_span ctx
+            }
+        }
         :: ctx.intervals;
       ctx.prov_epoch <- ctx.prov_epoch + 1
     end
@@ -743,6 +1062,16 @@ module Exposure = struct
           | Some r -> r := !r + (bytes * dt)
           | None -> Hashtbl.replace ctx.exposure key (ref (bytes * dt))
         in
+        (* per-request leak budget: the same sensitive-outside-mlock
+           predicate the sensitive-unsafe headline uses, accumulated per
+           originating trace in the same pass that feeds [add] — so the
+           budgets sum to the ledger's sensitive byte-tick total exactly *)
+        let leak (info : info) cls bytes =
+          if origin_sensitive info.origin && cls <> Mlocked_anon then
+            match Hashtbl.find_opt ctx.trace_leak_ info.birth_trace with
+            | Some r -> r := !r + (bytes * dt)
+            | None -> Hashtbl.replace ctx.trace_leak_ info.birth_trace (ref (bytes * dt))
+        in
         let breach (info : info) cls addr len =
           match ctx.breach_age_ with
           | Some limit when origin_sensitive info.origin && cls <> Mlocked_anon ->
@@ -815,11 +1144,13 @@ module Exposure = struct
         Array.iter
           (fun c ->
             add c.cinfo.origin c.ccls c.clen;
+            leak c.cinfo c.ccls c.clen;
             breach c.cinfo c.ccls c.caddr c.clen)
           ctx.memo_chunks;
         Array.iter
           (fun (slot, off, l, info) ->
             add info.origin Swapped l;
+            leak info Swapped l;
             breach info Swapped ((slot * gran) + off) l)
           ctx.memo_stash;
         ctx.last_advance_ <- t;
@@ -924,7 +1255,15 @@ module Cost = struct
         | { node_; _ } :: _ -> node_
         | [] -> ctx.prof_root_
       in
-      node.self_cycles <- node.self_cycles + c
+      node.self_cycles <- node.self_cycles + c;
+      (* causal attribution: cycles land on the request trace whose span
+         is active, so per-request cost rides along with the leak budget *)
+      match ctx.tstack_ with
+      | s :: _ -> (
+        match Hashtbl.find_opt ctx.trace_cycles_ s.ts_trace with
+        | Some r -> r := !r + c
+        | None -> Hashtbl.replace ctx.trace_cycles_ s.ts_trace (ref c))
+      | [] -> ()
     end
 
   let total_cycles ctx = ctx.cycles_
@@ -1007,6 +1346,11 @@ module Profiler = struct
       | [] -> ()
       | f :: rest ->
         ctx.prof_stack_ <- rest;
+        (* per-span-name duration histogram (simulated cycles), exported
+           to Prometheus as _bucket summary lines by [Metrics] *)
+        Metrics.observe ctx
+          ("span." ^ f.node_.span_name ^ ".cycles")
+          (float_of_int (ctx.cycles_ - f.start_cycles));
         ctx.spans_ <-
           { sname = f.node_.span_name;
             spid = f.fpid;
@@ -1195,31 +1539,6 @@ module Timeseries = struct
      gauge but must not masquerade as an independent measurement *)
   let export_kind s =
     match s.s_source with Some _ -> "rate" | None -> kind_name s.s_kind
-
-  let prom_name name =
-    let b = Buffer.create (String.length name + 9) in
-    Buffer.add_string b "memguard_";
-    String.iter
-      (fun c ->
-        match c with
-        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
-        | _ -> Buffer.add_char b '_')
-      name;
-    Buffer.contents b
-
-  (* Label values per the exposition format: backslash, double quote and
-     newline must be escaped inside the quoted string. *)
-  let prom_escape v =
-    let b = Buffer.create (String.length v) in
-    String.iter
-      (fun c ->
-        match c with
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '"' -> Buffer.add_string b "\\\""
-        | '\n' -> Buffer.add_string b "\\n"
-        | c -> Buffer.add_char b c)
-      v;
-    Buffer.contents b
 
   (* Prometheus text exposition: the last offered value of every series,
      timestamped with its simulation tick.  Counters carry the

@@ -102,9 +102,11 @@ type event =
           condition over [series] became true at this tick.  [value] is
           the observed value/rate/spread that crossed the rule. *)
 
-type record = { seq : int; tick : int; event : event }
+type record = { seq : int; tick : int; event : event; trace : int; span : int }
 (** [seq] is a global monotone counter, [tick] the simulation time last
-    announced via {!set_tick} (scan snapshots set it to their [~time]). *)
+    announced via {!set_tick} (scan snapshots set it to their [~time]).
+    [trace]/[span] name the causal span open when the event was emitted
+    (see {!Trace.begin_span}); [0] means untraced. *)
 
 type ctx
 
@@ -125,6 +127,99 @@ val set_tick : ctx -> int -> unit
 val tick : ctx -> int
 
 module Trace : sig
+  (** {2 Causal request tracing}
+
+      Request-scoped causal spans, separate from the {!Profiler} call
+      tree: the profiler aggregates where cycles go, a causal span records
+      {e which request caused which operation}.  Connection handlers mint
+      a trace per connection ([sshd.connection] / [apache.connection]),
+      [Ssl.load_private_key] mints one per boot-time key load, and kernel
+      operations (fault, COW, swap, read_file, fork, zero_mem, buddy
+      zero-on-free, page-cache fill/evict) record child spans via
+      {!causal} while a trace is active.  Every ring {!record} and every
+      {!Provenance} registration is stamped with the active trace/span,
+      so scanner hits, exposure breaches and alert firings join back to
+      the originating request.  Ids come from deterministic per-ctx
+      counters — never a clock or RNG — so trace exports (and fleet
+      fingerprints built over them) are byte-identical across runs and
+      domain counts. *)
+
+  val begin_span : ?pid:int -> ?trace:int -> ?parent:int -> ctx -> string -> int
+  (** Open a causal span and return its id ([0] when disabled).  With no
+      [?trace] and no span open, a fresh trace is minted and this span
+      becomes its root; otherwise the span joins the given (or enclosing)
+      trace.  [?parent] re-enters a trace whose root closed earlier (a
+      connection spans open/transfer/close calls): pass the connection's
+      root span id. *)
+
+  val end_span : ctx -> int -> unit
+  (** Close the span (and any still-open inner spans it encloses).  No-op
+      for id [0] or an id not on the open stack. *)
+
+  val with_span : ?pid:int -> ?trace:int -> ?parent:int -> ctx -> string -> (unit -> 'a) -> 'a
+  (** Bracket [f] with {!begin_span}/{!end_span} (exception-safe). *)
+
+  val causal : ?pid:int -> ctx -> string -> (unit -> 'a) -> 'a
+  (** Like {!with_span}, but records the span only when a trace is
+      already active — the kernel-side hook, so untraced work (boot
+      noise, background churn, scans) does not mint spurious traces. *)
+
+  val current_trace : ctx -> int
+  (** Trace id of the innermost open span, [0] when untraced. *)
+
+  val current_span : ctx -> int
+
+  val active : ctx -> bool
+  (** Is any causal span open? *)
+
+  val trace_count : ctx -> int
+  (** Traces minted so far. *)
+
+  type span_info = {
+    sp_trace : int;
+    sp_id : int;
+    sp_parent : int;  (** [0] for a trace root *)
+    sp_name : string;
+    sp_pid : int;
+    sp_start_tick : int;
+    sp_end_tick : int;
+    sp_start_cycles : int;
+    sp_end_cycles : int;
+  }
+
+  val spans : ctx -> span_info list
+  (** Every causal span, id order.  Still-open spans export with the
+      current tick/cycle clock as their end. *)
+
+  val root_of_trace : ctx -> int -> span_info option
+  (** The root span of a trace — the originating request. *)
+
+  val span_of_id : ctx -> int -> span_info option
+
+  val trace_cycles : ctx -> (int * int) list
+  (** Simulated cycles charged while each trace was active, trace-id
+      sorted — per-request cost attribution. *)
+
+  val leak_budget : ctx -> (int * int) list
+  (** Per-trace leak budget: sensitive byte·ticks outside mlocked-anon
+      attributable to each trace's copies, trace-id sorted (trace [0] is
+      the untraced bucket; zero-budget traces are omitted).  Accumulated
+      by the same {!Exposure.advance} pass as the ledger, so the budgets
+      sum {e exactly} to the ledger's sensitive-unsafe total. *)
+
+  val spans_to_json : ctx -> string
+  (** OTel-style span list: one object per span with [trace_id] /
+      [span_id] / [parent_span_id], name, pid and both clocks.  Canonical
+      JSON — safe to fingerprint. *)
+
+  val spans_to_chrome : ctx -> string
+  (** Chrome-trace view of the causal spans on the simulated-cycle clock.
+      Each trace renders as its own process row (pid = trace id) with a
+      [process_name] metadata record naming the originating request, so
+      kernel spans nest under the request that caused them. *)
+
+  (** {2 Event ring} *)
+
   val emit : ctx -> event -> unit
 
   val records : ctx -> record list
@@ -188,6 +283,19 @@ module Metrics : sig
   val to_json : ctx -> string
   (** Percentiles of an empty histogram are emitted as [null] (never
       [NaN], which is invalid JSON).  Carries {!schema_version}. *)
+
+  val bucket_bounds : float list
+  (** The fixed decade ladder ([1e2 .. 1e8]) used by {!to_prometheus}
+      bucket lines — one shared, deterministic ladder for every
+      histogram (span durations in simulated cycles span this range). *)
+
+  val to_prometheus : ctx -> string
+  (** Prometheus text exposition of every histogram as the standard
+      triple: cumulative [_bucket{le="..."}] lines over
+      {!bucket_bounds} (plus [le="+Inf"]), then [_sum] and [_count],
+      timestamped with the simulation tick.  Span-duration histograms
+      (fed per span name by [Profiler.exit] as
+      [span.<name>.cycles]) export here. *)
 end
 
 (** Registry of physical byte ranges known to hold copies of key-material,
@@ -196,11 +304,24 @@ end
     {!restore} it.  A scanner hit is attributed by {!lookup} on its
     physical address. *)
 module Provenance : sig
-  type info = { origin : origin; pid : int; birth_tick : int }
+  type info = {
+    origin : origin;
+    pid : int;
+    birth_tick : int;
+    birth_trace : int;
+        (** the causal trace active when the copy was registered ([0] =
+            untraced); clones made by {!blit}/{!stash}/{!restore} keep
+            the original, so a key's whole fan-out attributes to the
+            originating request *)
+    birth_span : int;
+        (** the causal span that registered the copy — the anchor of the
+            forensic syscall chain ([0] = none) *)
+  }
 
   val register : ctx -> origin:origin -> pid:int -> addr:int -> len:int -> unit
   (** Record that [\[addr, addr+len)] (physical) now holds a copy born at
-      the current tick.  Overlapping older intervals are superseded. *)
+      the current tick, stamped with the active causal trace/span.
+      Overlapping older intervals are superseded. *)
 
   val clear : ctx -> addr:int -> len:int -> unit
   (** The bytes were destroyed (zeroed or overwritten by a cleared frame):

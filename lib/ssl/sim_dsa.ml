@@ -1,5 +1,6 @@
 open Memguard_kernel
 module Dsa = Memguard_crypto.Dsa
+module Obs = Memguard_obs.Obs
 
 type t = {
   pub : Dsa.public;
@@ -21,10 +22,13 @@ let recover_priv k proc t =
   let x = Sim_bn.value k proc t.x in
   { Dsa.params = t.pub.Dsa.params; x; y = t.pub.Dsa.y }
 
-let sign rng k proc t m = Dsa.sign rng (recover_priv k proc t) m
+let sign rng k proc t m =
+  Obs.Trace.with_span ~pid:proc.Proc.pid (Kernel.obs k) "dsa.sign" @@ fun () ->
+  Dsa.sign rng (recover_priv k proc t) m
 
 let memory_align k proc t =
   if t.aligned_region = None then begin
+    Obs.Trace.with_span ~pid:proc.Proc.pid (Kernel.obs k) "dsa.memory_align" @@ fun () ->
     let region = Kernel.memalign k proc ~bytes:t.x.Sim_bn.size in
     let region_size = Option.get (Kernel.alloc_size k proc region) in
     Kernel.mlock k proc ~addr:region ~len:region_size;

@@ -9,6 +9,9 @@ type mode = Vanilla | Hardened
 let write_key_file k ~path priv = Kernel.write_file k ~path (Rsa.pem_of_priv priv)
 
 let load_private_key k proc ~path ?(nocache = false) ?passphrase mode =
+  (* joins the enclosing connection trace, or mints a root trace for a
+     boot-time load — either way the PEM/DER copies attribute back here *)
+  Obs.Trace.with_span ~pid:proc.Proc.pid (Kernel.obs k) "ssl.key_load" @@ fun () ->
   Obs.Profiler.span ~pid:proc.Proc.pid (Kernel.obs k) "ssl.key_load" @@ fun () ->
   (* read(2) the PEM file into a fresh heap buffer (and the page cache) *)
   let pem_buf, pem_len = Kernel.read_file k proc ~path ~nocache in
@@ -82,6 +85,7 @@ let load_private_key k proc ~path ?(nocache = false) ?passphrase mode =
 let write_dsa_key_file k ~path priv = Kernel.write_file k ~path (Dsa.pem_of_priv priv)
 
 let load_dsa_private_key k proc ~path ?(nocache = false) mode =
+  Obs.Trace.with_span ~pid:proc.Proc.pid (Kernel.obs k) "ssl.dsa_key_load" @@ fun () ->
   let pem_buf, pem_len = Kernel.read_file k proc ~path ~nocache in
   Kernel.note_copy k proc ~origin:Obs.Pem_buffer ~addr:pem_buf ~len:pem_len;
   let pem_text = Kernel.read_mem k proc ~addr:pem_buf ~len:pem_len in

@@ -137,6 +137,7 @@ let free t ~pfn ~order =
     Phys_mem.touch_class t.mem i;
     (* the paper's kernel patch: clear_highpage before entering free lists *)
     if t.zero_on_free then begin
+      Obs.Trace.causal t.obs "buddy.zero_on_free" @@ fun () ->
       Phys_mem.clear_frame t.mem i;
       Obs.Cost.charge t.obs ~sub:"vmm" Byte_zeroed (Phys_mem.page_size t.mem);
       Obs.Metrics.incr ~by:(Phys_mem.page_size t.mem) t.obs "buddy.zero_on_free_bytes";

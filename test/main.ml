@@ -27,6 +27,7 @@ let () =
          Test_misc_extra.suite;
          Test_fault.suite;
         Test_fleet.suite;
+         Test_forensics.suite;
          Test_telemetry.suite;
          Test_ct.suite;
          Test_final.suite

@@ -362,15 +362,60 @@ let prop_mod_pow_wide =
          done;
          !result))
 
+(* Even moduli are outside Montgomery's gcd(m, R) = 1 domain and route to
+   the constant-shape square-and-always-multiply fallback — pin its
+   correctness on known values and on multi-limb random even moduli, so
+   the routing can never silently return Montgomery garbage. *)
+let test_mod_pow_even_known () =
+  Alcotest.(check bool) "3^100 mod 1000 = 1" true
+    (Bn.equal Bn.one
+       (Bn.mod_pow ~base:(Bn.of_int 3) ~exp:(Bn.of_int 100) ~modulus:(Bn.of_int 1000)));
+  Alcotest.(check bool) "2^20 mod 10^6" true
+    (Bn.equal (Bn.of_int 48576)
+       (Bn.mod_pow ~base:Bn.two ~exp:(Bn.of_int 20) ~modulus:(Bn.of_int 1000000)));
+  (* multi-limb even modulus: 123456789^65537 mod (2^80 + 2) *)
+  let m = Bn.add (Bn.shift_left Bn.one 80) Bn.two in
+  Alcotest.(check bool) "even modulus spans limbs" true (Bn.is_even m);
+  Alcotest.(check bool) "123456789^65537 mod (2^80+2)" true
+    (Bn.equal
+       (Bn.of_dec "966836190486844084273917")
+       (Bn.mod_pow ~base:(Bn.of_int 123456789) ~exp:(Bn.of_int 65537) ~modulus:m));
+  Alcotest.(check bool) "exp 0 -> 1 even modulus" true
+    (Bn.equal Bn.one (Bn.mod_pow ~base:(Bn.of_int 7) ~exp:Bn.zero ~modulus:(Bn.of_int 64)))
+
+let prop_mod_pow_even_wide =
+  QCheck.Test.make ~name:"mod_pow = square-and-multiply on 256-bit even moduli" ~count:15
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let m =
+        let v = Bn.random_bits rng 256 in
+        let v = if Bn.is_even v then v else Bn.add v Bn.one in
+        if Bn.compare v Bn.two < 0 then Bn.two else v
+      in
+      let b = Bn.random_below rng m in
+      let e = Bn.random_bits rng 128 in
+      Bn.equal
+        (Bn.mod_pow ~base:b ~exp:e ~modulus:m)
+        (let result = ref Bn.one in
+         let b = Bn.rem b m in
+         for i = Bn.bit_length e - 1 downto 0 do
+           result := Bn.rem (Bn.mul !result !result) m;
+           if Bn.test_bit e i then result := Bn.rem (Bn.mul !result b) m
+         done;
+         !result))
+
 let mont_suite =
   ( "bn_montgomery",
     [ Alcotest.test_case "create" `Quick test_mont_create;
       Alcotest.test_case "roundtrip" `Quick test_mont_roundtrip;
       Alcotest.test_case "mul matches plain" `Quick test_mont_mul_matches_plain;
       Alcotest.test_case "pow fermat" `Quick test_mont_pow_matches_fermat;
+      Alcotest.test_case "mod_pow even modulus" `Quick test_mod_pow_even_known;
       QCheck_alcotest.to_alcotest prop_mont_pow_matches_plain;
       QCheck_alcotest.to_alcotest prop_mod_pow_mont_vs_plain_big;
-      QCheck_alcotest.to_alcotest prop_mod_pow_wide
+      QCheck_alcotest.to_alcotest prop_mod_pow_wide;
+      QCheck_alcotest.to_alcotest prop_mod_pow_even_wide
     ] )
 
 let suite = suite @ [ mont_suite ]
