@@ -293,6 +293,9 @@ let scan_engine_bench () =
   in
   let fleet_report = ref None in
   let t_fleet_1 = time_once (fun () -> fleet_report := Some (Fleet.run fleet_cfg)) in
+  let t_fleet_2 =
+    time_once (fun () -> ignore (Fleet.run { fleet_cfg with Fleet.domains = 2 }))
+  in
   let fleet4_report = ref None in
   let t_fleet_4 =
     time_once (fun () ->
@@ -301,6 +304,16 @@ let scan_engine_bench () =
   let fleet = Option.get !fleet_report in
   let fleet4 = Option.get !fleet4_report in
   let fleet_speedup = t_fleet_1 /. t_fleet_4 in
+  (* recommend the domain count this host actually ran fastest, not
+     Domain.recommended_domain_count: on a 1-core container 4 domains
+     multiplex one core and lose ~3x to scheduling + GC coordination
+     (speedup 0.35x measured), so honesty demands the argmin.  The
+     crossover is domains <= cores — see DESIGN.md. *)
+  let fleet_domains_recommended =
+    let timed = [ (1, t_fleet_1); (2, t_fleet_2); (4, t_fleet_4) ] in
+    fst (List.fold_left (fun (bd, bt) (d, t) -> if t < bt then (d, t) else (bd, bt))
+           (List.hd timed) (List.tl timed))
+  in
   (* per-domain scan throughput: deterministic pages/sweeps per shard,
      wall-clock pages/s per worker domain (warn-only in the gate) *)
   let fleet_pages_swept =
@@ -320,14 +333,13 @@ let scan_engine_bench () =
            | None -> 0))
       0 fleet.Fleet.shard_results
   in
-  let fleet_scan_pages_per_sec =
-    float_of_int fleet_pages_swept /. Float.min t_fleet_1 t_fleet_4
-  in
+  let t_fleet_best = Float.min t_fleet_1 (Float.min t_fleet_2 t_fleet_4) in
+  let fleet_scan_pages_per_sec = float_of_int fleet_pages_swept /. t_fleet_best in
   (* throughput at whichever domain count this host runs faster — a 1-core
      host loses on 4 domains, a 4-core host wins; either way the number is
      what an operator picking the right --domains would see *)
   let fleet_conns_per_sec =
-    float_of_int fleet.Fleet.total_connections /. Float.min t_fleet_1 t_fleet_4
+    float_of_int fleet.Fleet.total_connections /. t_fleet_best
   in
   Format.printf "%-44s %12.6f s@." "full scan, seed (one pass per pattern)" t_multipass;
   Format.printf "%-44s %12.6f s  (%.2fx)@." "full scan, single-pass multi-pattern" t_single
@@ -353,8 +365,10 @@ let scan_engine_bench () =
     (List.fold_left (fun acc (_, n) -> acc + n) 0 series_counts);
   Format.printf "%-44s %12d conns (%d shards)@." "fleet connections (8-shard timeline)"
     fleet.Fleet.total_connections fleet_cfg.Fleet.shards;
-  Format.printf "%-44s %12.6f s / %.6f s  (%.2fx at 4 domains)@."
-    "fleet wall time, 1 domain / 4 domains" t_fleet_1 t_fleet_4 fleet_speedup;
+  Format.printf "%-44s %12.6f / %.6f / %.6f s  (%.2fx at 4 domains)@."
+    "fleet wall time, 1 / 2 / 4 domains" t_fleet_1 t_fleet_2 t_fleet_4 fleet_speedup;
+  Format.printf "%-44s %12d (fastest measured on this host)@."
+    "fleet domains recommended" fleet_domains_recommended;
   Format.printf "%-44s %12.0f conns/s@." "fleet connection throughput (best domains)"
     fleet_conns_per_sec;
   Format.printf "%-44s %12d pages in %d sweeps (%d scan cycles)@."
@@ -407,6 +421,7 @@ let scan_engine_bench () =
       \  \"fleet_sensitive_unsafe_byte_ticks\": %d,\n\
       \  \"fleet_domains_recommended\": %d,\n\
       \  \"fleet_timeline_domains_1_s\": %.6f,\n\
+      \  \"fleet_timeline_domains_2_s\": %.6f,\n\
       \  \"fleet_timeline_domains_4_s\": %.6f,\n\
       \  \"fleet_speedup_domains_4\": %.2f,\n\
       \  \"fleet_connections_per_sec\": %.0f,\n\
@@ -423,7 +438,7 @@ let scan_engine_bench () =
       ledger_overhead_pct timeseries_overhead_pct fleet_cfg.Fleet.shards
       fleet.Fleet.total_connections
       fleet.Fleet.total_requests fleet.Fleet.total_cycles fleet.Fleet.sensitive_unsafe
-      (Domain.recommended_domain_count ()) t_fleet_1 t_fleet_4 fleet_speedup
+      fleet_domains_recommended t_fleet_1 t_fleet_2 t_fleet_4 fleet_speedup
       fleet_conns_per_sec fleet_pages_swept fleet_sweeps fleet_sweep_cycles
       fleet_scan_pages_per_sec
       (String.concat ""
@@ -559,80 +574,41 @@ let write_baseline path =
   close_out oc;
   Format.printf "wrote %s (%d metrics)@." path (List.length metrics)
 
-(* Wall-clock metrics (seconds, throughput, percentages, speedups) drift
-   with CI machine load; only the deterministic cycle/count metrics gate
-   hard.  Wall-clock drift beyond tolerance is reported as a warning so a
-   loaded runner cannot fail the build spuriously. *)
-let wallclock_metric key =
-  let contains sub =
-    let n = String.length key and m = String.length sub in
-    let rec go i = i + m <= n && (String.sub key i m = sub || go (i + 1)) in
-    m > 0 && go 0
-  in
-  Filename.check_suffix key "_s"
-  || contains "per_sec" || contains "_pct" || contains "speedup" || contains "rate"
-  || contains "ratio" || contains "wall"
-
+(* The gate is the flight differ: baseline and current become scalars-only
+   archives and Obs.Diff classifies every delta — the same tolerance on
+   all three families reproduces the old hand-rolled semantics (every
+   metric gets the CLI tolerance; wall-clock regressions warn, anything
+   else fails hard).  The old per-key comparison loop is gone. *)
 let check_baseline path ~tolerance =
   section
-    (Printf.sprintf "perf gate — simulated cycles vs %s (tolerance %d%%)" path tolerance);
+    (Printf.sprintf "perf gate — flight diff vs %s (tolerance %d%%)" path tolerance);
   let baseline =
     let ic = open_in path in
     let s = really_input_string ic (in_channel_length ic) in
     close_in ic;
-    parse_flat_json s
+    Obs.Snapshot.of_scalars ~kind:"bench-gate" (parse_flat_json s)
   in
-  let current = List.map (fun (k, v) -> (k, float_of_int v)) (gate_metrics ()) in
-  let failed = ref 0 in
-  let warned = ref 0 in
-  let tol = float_of_int tolerance /. 100. in
-  Format.printf "%-42s %14s %14s %9s@." "metric" "baseline" "current" "delta";
-  List.iter
-    (fun (key, cur) ->
-      match List.assoc_opt key baseline with
-      | None -> Format.printf "%-42s %14s %14.0f %9s  new metric@." key "-" cur "-"
-      | Some base ->
-        let delta = 100. *. ((cur -. base) /. Float.max 1.0 (Float.abs base)) in
-        let over = cur > base +. (Float.abs base *. tol) in
-        let under = base > cur +. (Float.abs cur *. tol) in
-        let verdict =
-          if over && wallclock_metric key then begin
-            incr warned;
-            "slower (wall-clock: warning only)"
-          end
-          else if over then begin
-            incr failed;
-            "REGRESSION"
-          end
-          else if under && not (wallclock_metric key) then
-            "improved — consider refreshing the baseline"
-          else "ok"
-        in
-        Format.printf "%-42s %14.0f %14.0f %+8.1f%%  %s@." key base cur delta verdict)
-    current;
-  List.iter
-    (fun (key, _) ->
-      if not (List.mem_assoc key current) then
-        if wallclock_metric key then begin
-          incr warned;
-          Format.printf "%-42s not produced by the gate (wall-clock): warning@." key
-        end
-        else begin
-          incr failed;
-          Format.printf "%-42s vanished from the current run: REGRESSION@." key
-        end)
-    baseline;
-  if !warned > 0 then
-    Format.printf "@.%d wall-clock metric(s) drifted beyond %d%% (not gated)@." !warned
+  let current =
+    Obs.Snapshot.of_scalars ~kind:"bench-gate"
+      (List.map (fun (k, v) -> (k, float_of_int v)) (gate_metrics ()))
+  in
+  let tol = float_of_int tolerance in
+  let d =
+    Obs.Diff.diff ~det_tol_pct:tol ~wall_tol_pct:tol ~exp_tol_pct:tol baseline current
+  in
+  Obs.Diff.pp Format.std_formatter d;
+  let soft = Obs.Diff.regressions d - Obs.Diff.hard_regressions d in
+  if soft > 0 then
+    Format.printf "@.%d wall-clock metric(s) drifted beyond %d%% (not gated)@." soft
       tolerance;
-  if !failed > 0 then begin
-    Format.printf "@.perf gate FAILED: %d metric(s) regressed beyond %d%%@." !failed
-      tolerance;
+  let hard = Obs.Diff.hard_regressions d in
+  if hard > 0 then begin
+    Format.printf "@.perf gate FAILED: %d metric(s) regressed beyond %d%%@." hard tolerance;
     exit 1
   end
   else
-    Format.printf "@.perf gate ok: %d metric(s) within %d%% of baseline@."
-      (List.length current) tolerance
+    Format.printf "@.perf gate ok: %d metric(s) within %d%% of baseline@." d.Obs.Diff.compared
+      tolerance
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                   *)

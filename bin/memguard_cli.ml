@@ -72,7 +72,7 @@ let directories_arg =
 
 let timeline_cmd =
   let module Obs = Memguard_obs.Obs in
-  let run level server seed pages key_bits churn trace metrics series =
+  let run level server seed pages key_bits churn trace metrics series flight =
     Format.printf "# timeline: server=%s level=%s (%s)@."
       (match server with Experiment.Ssh -> "ssh" | Experiment.Http -> "http")
       (Protection.name level) (Protection.describe level);
@@ -81,7 +81,19 @@ let timeline_cmd =
         Some (Obs.create ~ring_capacity:(1 lsl 20) ())
       else None
     in
-    let snaps = Experiment.timeline ~level ~seed ~num_pages:pages ~key_bits ~churn ?obs server in
+    let recorder =
+      Option.map
+        (fun path snap ->
+          let oc = open_out path in
+          output_string oc (Obs.Snapshot.to_json snap);
+          close_out oc;
+          Format.printf "@.# wrote flight archive to %s@." path)
+        flight
+    in
+    let snaps =
+      Experiment.timeline ~level ~seed ~num_pages:pages ~key_bits ~churn ?obs ?recorder
+        server
+    in
     Format.printf "%a" Memguard_scan.Report.pp_series snaps;
     match obs with
     | None -> ()
@@ -100,7 +112,10 @@ let timeline_cmd =
        | Some path ->
          let oc = open_out path in
          output_string oc
-           (if Filename.check_suffix path ".prom" then Obs.Timeseries.to_prometheus obs
+           (if Filename.check_suffix path ".prom" then
+              Obs.Timeseries.to_prometheus
+                ~labels:[ ("level", Protection.name level) ]
+                obs
             else Obs.Timeseries.to_json obs);
          close_out oc;
          Format.printf "@.# wrote %d telemetry series to %s@."
@@ -130,10 +145,17 @@ let timeline_cmd =
              ~doc:"Write the per-tick telemetry series to $(docv): Prometheus text \
                    exposition if $(docv) ends in .prom, canonical JSON otherwise.")
   in
+  let flight =
+    Arg.(value & opt (some string) None
+         & info [ "flight" ] ~docv:"FILE"
+             ~doc:"Record the run's flight archive (versioned JSON snapshot of every \
+                   observable: series envelopes, exposure ledger, costs, alerts, leak \
+                   budgets) to $(docv) — diff two with $(b,memguard diff).")
+  in
   Cmd.v
     (Cmd.info "timeline" ~doc:"Figures 5/6/9-16/21-28: key copies over the scripted t=0..29 run")
     Term.(const run $ level_arg $ server_arg $ seed_arg $ pages_arg 8192 $ key_bits_arg $ churn
-          $ trace $ metrics $ series)
+          $ trace $ metrics $ series $ flight)
 
 let ext2_cmd =
   let run level server seed pages key_bits trials connections directories =
@@ -604,7 +626,9 @@ let watch_cmd =
      | None -> ());
     match prom with
     | Some path ->
-      write_file path (Obs.Timeseries.to_prometheus obs ^ Obs.Metrics.to_prometheus obs);
+      let labels = [ ("level", Protection.name level) ] in
+      write_file path
+        (Obs.Timeseries.to_prometheus ~labels obs ^ Obs.Metrics.to_prometheus ~labels obs);
       Format.printf "wrote %s@." path
     | None -> ()
   in
@@ -642,8 +666,15 @@ let watch_cmd =
 
 let overhead_cmd =
   let module Obs = Memguard_obs.Obs in
-  let run seed pages scan_mode json flamegraph trace flame_level =
-    let rows = Overhead.run ~num_pages:pages ~seed ~scan_mode () in
+  let run seed pages scan_mode json flamegraph trace flame_level flight =
+    let recorder =
+      Option.map
+        (fun path snap ->
+          write_file path (Obs.Snapshot.to_json snap);
+          Format.printf "wrote flight archive to %s@." path)
+        flight
+    in
+    let rows = Overhead.run ~num_pages:pages ~seed ~scan_mode ?recorder () in
     Overhead.pp Format.std_formatter rows;
     (match json with
      | Some path ->
@@ -692,6 +723,12 @@ let overhead_cmd =
              ~doc:"Which level's profile the flamegraph/trace exports read (default \
                    integrated).")
   in
+  let flight =
+    Arg.(value & opt (some string) None
+         & info [ "flight" ] ~docv:"FILE"
+             ~doc:"Record a scalars-only flight archive of the table (keys match the \
+                   bench perf gate) to $(docv) — diff two with $(b,memguard diff).")
+  in
   Cmd.v
     (Cmd.info "overhead"
        ~doc:
@@ -700,7 +737,7 @@ let overhead_cmd =
           the paper-style table (cycles per connection and signature, per-subsystem \
           breakdown, slowdown vs unprotected)")
     Term.(const run $ seed_arg $ pages_arg 4096 $ scan_mode_arg $ json $ flamegraph
-          $ trace $ flame_level)
+          $ trace $ flame_level $ flight)
 
 let inspect_cmd =
   let module Obs = Memguard_obs.Obs in
@@ -843,7 +880,7 @@ let forensics_cmd =
 let fleet_cmd =
   let module Fleet = Memguard_fleet.Fleet in
   let run level mix shards domains pages master_seed conns churn scan_mode breach_age
-      json html print_fingerprint inspect_shard tick =
+      json html print_fingerprint inspect_shard tick flight =
     let cfg =
       { Fleet.shards;
         domains;
@@ -870,7 +907,14 @@ let fleet_cmd =
       Format.printf "# fleet inspect: shard=%d tick=%d@." shard tick;
       print_string (Fleet.inspect_shard cfg ~shard ~tick)
     | None ->
-      let report = Fleet.run cfg in
+      let recorder =
+        Option.map
+          (fun path snap ->
+            write_file path (Memguard_obs.Obs.Snapshot.to_json snap);
+            Format.printf "wrote flight archive to %s@." path)
+          flight
+      in
+      let report = Fleet.run ?recorder cfg in
       if print_fingerprint then print_endline (Fleet.fingerprint report)
       else Format.printf "%a" Fleet.pp_summary report;
       (match json with
@@ -955,6 +999,12 @@ let fleet_cmd =
          & info [ "t"; "tick" ] ~docv:"TICK"
              ~doc:"Tick at which --inspect-shard freezes the shard (clamped to 29).")
   in
+  let flight =
+    Arg.(value & opt (some string) None
+         & info [ "flight" ] ~docv:"FILE"
+             ~doc:"Record the merged fleet's flight archive (per-shard rollups, merged \
+                   series, exposure, budgets; meta carries the fingerprint) to $(docv).")
+  in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:
@@ -964,7 +1014,124 @@ let fleet_cmd =
           aggregate report")
     Term.(const run $ level_arg $ mix $ shards $ domains $ pages_arg 2048 $ master_seed
           $ conns $ churn $ scan_mode_arg $ breach_age $ json $ html $ print_fingerprint
-          $ inspect_shard $ tick)
+          $ inspect_shard $ tick $ flight)
+
+let diff_cmd =
+  let module Obs = Memguard_obs.Obs in
+  let read_archive path =
+    match Obs.Snapshot.read path with
+    | Ok s -> s
+    | Error msg ->
+      Format.eprintf "memguard diff: %s: %s@." path msg;
+      Stdlib.exit 2
+  in
+  (* Trajectory mode: A is a directory → sparkline every observable over
+     its *.json archives in name order. *)
+  let trajectory dir html =
+    let files =
+      List.sort compare
+        (List.filter
+           (fun f -> Filename.check_suffix f ".json")
+           (Array.to_list (Sys.readdir dir)))
+    in
+    if files = [] then begin
+      Format.eprintf "memguard diff: no *.json archives in %s@." dir;
+      Stdlib.exit 2
+    end;
+    let runs =
+      List.map
+        (fun f -> (Filename.remove_extension f, read_archive (Filename.concat dir f)))
+        files
+    in
+    Format.printf "# trajectory over %d archives in %s@." (List.length runs) dir;
+    List.iteri
+      (fun i (name, (s : Obs.Snapshot.t)) ->
+        Format.printf "%4d  %-40s %s@." i name s.Obs.Snapshot.ar_kind)
+      runs;
+    match html with
+    | Some path ->
+      write_file path (Dashboard.trajectory_html runs);
+      Format.printf "wrote %s@." path
+    | None ->
+      Format.printf "(pass --html FILE for the sparkline-over-runs view)@."
+  in
+  let run a b json html fail_on wall_tol =
+    match b with
+    | None when Sys.is_directory a -> trajectory a html
+    | None ->
+      Format.eprintf
+        "memguard diff: need two archives (or a directory of archives for the \
+         trajectory view)@.";
+      Stdlib.exit 2
+    | Some b ->
+      let base = read_archive a and cur = read_archive b in
+      let d = Obs.Diff.diff ~wall_tol_pct:wall_tol base cur in
+      Obs.Diff.pp Format.std_formatter d;
+      (match json with
+       | Some path ->
+         write_file path (Obs.Diff.to_json d);
+         Format.printf "wrote %s@." path
+       | None -> ());
+      (match html with
+       | Some path ->
+         write_file path
+           (Dashboard.diff_html ~base_name:a ~cur_name:b base cur d);
+         Format.printf "wrote %s@." path
+       | None -> ());
+      (match fail_on with
+       | `None -> ()
+       | `Regression ->
+         if Obs.Diff.hard_regressions d > 0 then Stdlib.exit 1
+       | `Any ->
+         if List.exists
+              (fun (dl : Obs.Diff.delta) -> dl.Obs.Diff.d_verdict <> Obs.Diff.Neutral)
+              d.Obs.Diff.deltas
+         then Stdlib.exit 1)
+  in
+  let a =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"BASE"
+             ~doc:"Base flight archive — or a directory of archives for the trajectory \
+                   view.")
+  in
+  let b =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"CURRENT" ~doc:"Current flight archive to compare against BASE.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the delta report as JSON to $(docv).")
+  in
+  let html =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE"
+             ~doc:"Write the side-by-side dashboard (delta table + paired sparklines; \
+                   trajectory view in directory mode) to $(docv).")
+  in
+  let fail_on =
+    Arg.(value
+         & opt (enum [ ("none", `None); ("regression", `Regression); ("any", `Any) ]) `None
+         & info [ "fail-on" ] ~docv:"WHAT"
+             ~doc:"Exit 1 on $(b,regression) (any hard regression — deterministic or \
+                   exposure family) or on $(b,any) non-neutral delta.  Default $(b,none): \
+                   always exit 0 on a successful comparison.")
+  in
+  let wall_tol =
+    Arg.(value & opt float 10.
+         & info [ "tolerance" ] ~docv:"PCT"
+             ~doc:"Wall-clock family tolerance in percent (default 10).  Deterministic \
+                   and exposure families stay exact.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Differential run observatory: align two flight archives (recorded with \
+          --flight) by observable, classify every delta as \
+          improvement/regression/neutral per metric family (deterministic exact, \
+          wall-clock tolerant and warn-only, exposure byte-ticks hard), and render \
+          text/JSON/HTML reports — or, given a directory, the trajectory of every \
+          observable across its archives")
+    Term.(const run $ a $ b $ json $ html $ fail_on $ wall_tol)
 
 let main =
   Cmd.group
@@ -974,6 +1141,6 @@ let main =
           Disclosure Attacks' (DSN'07)")
     [ timeline_cmd; ext2_cmd; tty_cmd; before_after_cmd; perf_cmd; ablations_cmd; dat_cmd;
       levels_cmd; chaos_cmd; observe_cmd; watch_cmd; overhead_cmd; inspect_cmd;
-      forensics_cmd; fleet_cmd ]
+      forensics_cmd; fleet_cmd; diff_cmd ]
 
 let () = Stdlib.exit (Cmd.eval main)

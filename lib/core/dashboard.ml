@@ -575,3 +575,159 @@ let pp_summary fmt t =
   Format.fprintf fmt "simulated cycles: %d (%s)@." t.cycles
     (String.concat ", "
        (List.map (fun (s, v) -> Printf.sprintf "%s %d" s v) t.cycles_by_subsystem))
+
+(* ---- differential run observatory (memguard_cli diff --html) ---- *)
+
+let page_style =
+  "<style>body{font:14px/1.5 system-ui,sans-serif;margin:24px auto;max-width:1100px;color:#111}\n\
+   h1{font-size:20px}h2{font-size:16px;margin-top:28px}\n\
+   table{border-collapse:collapse;margin:8px 0}td,th{border:1px solid #cbd5e1;padding:3px \
+   10px;text-align:right}th{background:#f1f5f9}td:first-child,th:first-child{text-align:left}\n\
+   .spark{width:160px;height:28px;background:#fff;border:1px solid #e2e8f0;vertical-align:middle}\n\
+   .ok{color:#16a34a;font-weight:600}.bad{color:#dc2626;font-weight:600}\n\
+   .warn{color:#d97706;font-weight:600}.dim{color:#64748b}\n\
+   .meta td{text-align:left}</style>"
+
+let verdict_class (d : Obs.Diff.delta) =
+  match d.Obs.Diff.d_verdict with
+  | Obs.Diff.Improvement -> "ok"
+  | Obs.Diff.Regression -> if d.Obs.Diff.d_hard then "bad" else "warn"
+  | Obs.Diff.Neutral -> "dim"
+
+(* Side-by-side diff page: verdict summary, meta changes, the full delta
+   table with improvement/regression coloring, and paired base/current
+   sparklines for every series both archives retained. *)
+let diff_html ~base_name ~cur_name (base : Obs.Snapshot.t) (cur : Obs.Snapshot.t)
+    (d : Obs.Diff.t) =
+  let buf = Buffer.create 16384 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+  add "<title>memguard run diff — %s vs %s</title>\n%s</head><body>\n"
+    (html_escape base_name) (html_escape cur_name) page_style;
+  add "<h1>memguard run diff</h1>\n";
+  add "<table class=\"meta\"><tr><th></th><th>base</th><th>current</th></tr>";
+  add "<tr><th>archive</th><td>%s</td><td>%s</td></tr>" (html_escape base_name)
+    (html_escape cur_name);
+  add "<tr><th>kind</th><td>%s</td><td>%s</td></tr></table>\n"
+    (html_escape base.Obs.Snapshot.ar_kind)
+    (html_escape cur.Obs.Snapshot.ar_kind);
+  let hard = Obs.Diff.hard_regressions d in
+  add "<p>%d observables compared: <span class=\"ok\">%d improvement(s)</span>, \
+       <span class=\"%s\">%d regression(s) (%d hard)</span>, %d new key(s).</p>\n"
+    d.Obs.Diff.compared (Obs.Diff.improvements d)
+    (if hard > 0 then "bad" else "warn")
+    (Obs.Diff.regressions d) hard (Obs.Diff.added d);
+  if d.Obs.Diff.meta_diff <> [] then begin
+    add "<h2>configuration changes</h2>\n<table><tr><th>key</th><th>base</th><th>current</th></tr>";
+    List.iter
+      (fun (k, b, c) ->
+        add "<tr><td>%s</td><td>%s</td><td>%s</td></tr>" (html_escape k)
+          (html_escape (Option.value ~default:"-" b))
+          (html_escape (Option.value ~default:"-" c)))
+      d.Obs.Diff.meta_diff;
+    add "</table>\n"
+  end;
+  if d.Obs.Diff.deltas = [] then add "<h2>no deltas</h2>\n"
+  else begin
+    add "<h2>deltas</h2>\n<table><tr><th>observable</th><th>family</th><th>base</th>\
+         <th>current</th><th>delta</th><th>verdict</th></tr>";
+    List.iter
+      (fun (dl : Obs.Diff.delta) ->
+        add "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td class=\"%s\">%s%s</td></tr>"
+          (html_escape dl.Obs.Diff.d_key)
+          (Obs.Diff.family_name dl.Obs.Diff.d_family)
+          (match dl.Obs.Diff.d_base with None -> "-" | Some v -> short_num v)
+          (match dl.Obs.Diff.d_cur with None -> "-" | Some v -> short_num v)
+          (if dl.Obs.Diff.d_base = None || dl.Obs.Diff.d_cur = None then "-"
+           else Printf.sprintf "%+.1f%%" dl.Obs.Diff.d_pct)
+          (verdict_class dl)
+          (Obs.Diff.verdict_name dl.Obs.Diff.d_verdict)
+          (if dl.Obs.Diff.d_hard then " [hard]" else ""))
+      d.Obs.Diff.deltas;
+    add "</table>\n"
+  end;
+  let shared =
+    List.filter_map
+      (fun (c : Obs.Snapshot.series_env) ->
+        Option.map
+          (fun b -> (b, c))
+          (List.find_opt
+             (fun (b : Obs.Snapshot.series_env) ->
+               b.Obs.Snapshot.e_name = c.Obs.Snapshot.e_name)
+             base.Obs.Snapshot.ar_series))
+      cur.Obs.Snapshot.ar_series
+  in
+  if shared <> [] then begin
+    add "<h2>series, side by side</h2>\n<table><tr><th>series</th><th>base</th>\
+         <th>current</th><th>last</th><th>max</th></tr>";
+    List.iter
+      (fun ((b : Obs.Snapshot.series_env), (c : Obs.Snapshot.series_env)) ->
+        let cls v1 v2 = if v2 > v1 then "bad" else if v2 < v1 then "ok" else "dim" in
+        add "<tr><td>%s</td><td>%s</td><td>%s</td><td class=\"%s\">%s &rarr; %s</td>\
+             <td class=\"%s\">%s &rarr; %s</td></tr>"
+          (html_escape b.Obs.Snapshot.e_name)
+          (svg_sparkline b.Obs.Snapshot.e_points)
+          (svg_sparkline c.Obs.Snapshot.e_points)
+          (cls b.Obs.Snapshot.e_last c.Obs.Snapshot.e_last)
+          (short_num b.Obs.Snapshot.e_last)
+          (short_num c.Obs.Snapshot.e_last)
+          (cls b.Obs.Snapshot.e_max c.Obs.Snapshot.e_max)
+          (short_num b.Obs.Snapshot.e_max)
+          (short_num c.Obs.Snapshot.e_max))
+      shared;
+    add "</table>\n"
+  end;
+  add "</body></html>\n";
+  Buffer.contents buf
+
+(* Trajectory over a directory of archives: one sparkline per observable,
+   x = run index in name order — the BENCH_* trend view, but for every
+   recorded metric at once.  Budget and per-shard keys are omitted (they
+   are per-request/per-shard detail, not trends); everything else rides. *)
+let trajectory_html (runs : (string * Obs.Snapshot.t) list) =
+  let buf = Buffer.create 16384 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+  add "<title>memguard run trajectory (%d runs)</title>\n%s</head><body>\n"
+    (List.length runs) page_style;
+  add "<h1>memguard run trajectory</h1>\n<table class=\"meta\"><tr><th>#</th><th>archive</th><th>kind</th></tr>";
+  List.iteri
+    (fun i (name, (s : Obs.Snapshot.t)) ->
+      add "<tr><th>%d</th><td>%s</td><td>%s</td></tr>" i (html_escape name)
+        (html_escape s.Obs.Snapshot.ar_kind))
+    runs;
+  add "</table>\n";
+  let flat = List.map (fun (_, s) -> Obs.Snapshot.scalars s) runs in
+  let keep k =
+    not
+      (String.length k >= 7 && String.sub k 0 7 = "budget:")
+    && not (String.length k >= 6 && String.sub k 0 6 = "shard:")
+  in
+  let keys =
+    List.sort_uniq compare (List.filter keep (List.concat_map (List.map fst) flat))
+  in
+  add "<h2>observables over runs</h2>\n<table><tr><th>observable</th><th>trend</th>\
+       <th>first</th><th>last</th><th>delta</th></tr>";
+  List.iter
+    (fun key ->
+      let pts =
+        List.concat
+          (List.mapi
+             (fun i scal ->
+               match List.assoc_opt key scal with
+               | Some v when not (Float.is_nan v) -> [ (i, v) ]
+               | _ -> [])
+             flat)
+      in
+      match pts with
+      | [] -> ()
+      | (_, first) :: _ ->
+        let _, last = List.nth pts (List.length pts - 1) in
+        let cls = if last > first then "bad" else if last < first then "ok" else "dim" in
+        add "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td class=\"%s\">%s</td></tr>"
+          (html_escape key) (svg_sparkline pts) (short_num first) (short_num last) cls
+          (if first = last then "="
+           else Printf.sprintf "%+.1f%%" (100. *. (last -. first) /. Float.max 1. (Float.abs first))))
+    keys;
+  add "</table>\n</body></html>\n";
+  Buffer.contents buf

@@ -133,3 +133,21 @@ val pp_summary : Format.formatter -> t -> unit
 (** Terminal summary: headline exposure + totals + breach count. *)
 
 val server_name : Timeline.server -> string
+
+val diff_html :
+  base_name:string ->
+  cur_name:string ->
+  Memguard_obs.Obs.Snapshot.t ->
+  Memguard_obs.Obs.Snapshot.t ->
+  Memguard_obs.Obs.Diff.t ->
+  string
+(** Side-by-side diff of two flight archives as a self-contained HTML
+    page: verdict summary, configuration changes, the full delta table
+    with improvement/regression coloring ([hard] tagged), and paired
+    base/current sparklines for every series both archives retained. *)
+
+val trajectory_html : (string * Memguard_obs.Obs.Snapshot.t) list -> string
+(** Trend view over an ordered list of [(name, archive)] runs: one
+    sparkline per flattened observable (x = run index), with first/last
+    values and the relative drift.  Per-request budget and per-shard
+    keys are omitted — they are drill-down detail, not trends. *)

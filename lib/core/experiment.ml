@@ -106,10 +106,45 @@ let tty_sweep ?(level = Protection.Unprotected) ?(trials = 5) ?(num_pages = 4096
     connections
 
 let timeline ?(level = Protection.Unprotected) ?(num_pages = 8192) ?(seed = 1) ?rng
-    ?key_bits ?(churn = 3) ?low ?high ?(scan_mode = System.Incremental) ?obs server =
+    ?key_bits ?(churn = 3) ?low ?high ?(scan_mode = System.Incremental) ?obs ?recorder
+    server =
+  (* the recorder needs an observability context to read from; runs that
+     did not pass one get a private context — still observer-only, so the
+     simulated machine is byte-identical either way *)
+  let obs =
+    match (obs, recorder) with
+    | None, Some _ -> Some (Memguard_obs.Obs.create ())
+    | _ -> obs
+  in
   let sys = System.create ?key_bits ~num_pages ~level ~seed ?rng ~scan_mode ?obs () in
-  Timeline.run ~churn ?low ?high sys
-    (match server with Ssh -> Timeline.Ssh | Http -> Timeline.Http)
+  let snaps =
+    Timeline.run ~churn ?low ?high sys
+      (match server with Ssh -> Timeline.Ssh | Http -> Timeline.Http)
+  in
+  (match recorder with
+   | None -> ()
+   | Some f ->
+     let meta =
+       [ ("level", Protection.name level);
+         ("server", (match server with Ssh -> "ssh" | Http -> "http"));
+         ("seed", string_of_int seed);
+         ("num_pages", string_of_int num_pages);
+         ("churn", string_of_int churn);
+         ("scan_mode", System.mode_name scan_mode)
+       ]
+     in
+     let final =
+       match List.rev snaps with
+       | s :: _ -> float_of_int s.Memguard_scan.Report.allocated
+       | [] -> 0.
+     in
+     let scalars =
+       [ ("timeline.final_copies", final);
+         ("timeline.snapshots", float_of_int (List.length snaps))
+       ]
+     in
+     f (Memguard_obs.Obs.Snapshot.record ~kind:"timeline" ~meta ~scalars (System.obs sys)));
+  snaps
 
 let before_after_tty ?(trials = 10) ?(num_pages = 4096) ?(seed = 1)
     ?(connections = [ 0; 20; 60; 120 ]) server =

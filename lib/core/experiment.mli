@@ -57,6 +57,7 @@ val timeline :
   ?high:int ->
   ?scan_mode:System.scan_mode ->
   ?obs:Memguard_obs.Obs.ctx ->
+  ?recorder:(Memguard_obs.Obs.Snapshot.t -> unit) ->
   server ->
   Memguard_scan.Report.snapshot list
 (** Figures 5/6 (unprotected) and 9–16 / 21–28 (one protection level each):
@@ -70,7 +71,11 @@ val timeline :
     (both kept for benchmarking).  [obs] threads an observability context
     through the machine (see {!System.create}): the run's snapshots then
     carry per-hit provenance and the context accumulates the event trace
-    and subsystem metrics. *)
+    and subsystem metrics.  [recorder] is called once, after the last
+    tick, with a flight archive ({!Memguard_obs.Obs.Snapshot.record},
+    kind ["timeline"]) of everything the context observed — when no
+    [obs] was passed a private context is created for it.  Recording is
+    observer-only: the run is byte-identical with or without it. *)
 
 (** {1 Section 5.2 / 6.2 — attacks before vs after} *)
 

@@ -44,13 +44,39 @@ let run_level ?(num_pages = 4096) ?(seed = 1) ?(key_bits = 256)
     obs
   }
 
-let run ?(levels = default_levels) ?num_pages ?seed ?key_bits ?scan_mode () =
+let run ?(levels = default_levels) ?num_pages ?seed ?key_bits ?scan_mode ?recorder () =
   let rows = List.map (run_level ?num_pages ?seed ?key_bits ?scan_mode) levels in
-  match rows with
-  | [] -> []
-  | base :: _ ->
-    let b = float_of_int (max 1 base.cycles) in
-    List.map (fun r -> { r with slowdown = float_of_int r.cycles /. b }) rows
+  let rows =
+    match rows with
+    | [] -> []
+    | base :: _ ->
+      let b = float_of_int (max 1 base.cycles) in
+      List.map (fun r -> { r with slowdown = float_of_int r.cycles /. b }) rows
+  in
+  (match recorder with
+   | None -> ()
+   | Some f ->
+     (* scalars-only archive, keyed exactly like the bench perf gate so a
+        flight diff and the gate read the same names for the same numbers *)
+     let slug level = String.map (function '-' -> '_' | c -> c) (Protection.name level) in
+     let scalars =
+       List.concat_map
+         (fun r ->
+           let s = slug r.level in
+           [ (Printf.sprintf "overhead_cycles_%s" s, float_of_int r.cycles);
+             (Printf.sprintf "overhead_requests_%s" s, float_of_int r.requests);
+             (Printf.sprintf "overhead_signatures_%s" s, float_of_int r.signatures);
+             (Printf.sprintf "overhead_slowdown_%s" s, r.slowdown)
+           ]
+           @ List.map
+               (fun (sub, c) ->
+                 (Printf.sprintf "overhead_cycles_%s_%s" s sub, float_of_int c))
+               r.by_subsystem)
+         rows
+     in
+     let meta = [ ("levels", String.concat "," (List.map Protection.name levels)) ] in
+     f (Obs.Snapshot.of_scalars ~kind:"overhead" ~meta scalars));
+  rows
 
 let subsystems rows =
   List.sort_uniq compare (List.concat_map (fun r -> List.map fst r.by_subsystem) rows)

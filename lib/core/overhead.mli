@@ -50,10 +50,15 @@ val run :
   ?seed:int ->
   ?key_bits:int ->
   ?scan_mode:System.scan_mode ->
+  ?recorder:(Memguard_obs.Obs.Snapshot.t -> unit) ->
   unit ->
   row list
 (** Run every level (default {!default_levels}) and normalise slowdown
-    against the first row. *)
+    against the first row.  [recorder] receives a scalars-only flight
+    archive (kind ["overhead"]) keyed exactly like the bench perf gate —
+    [overhead_cycles_<level>], [overhead_cycles_<level>_<subsystem>],
+    plus requests / signatures / slowdown per level — so a flight diff
+    and the gate read the same names for the same numbers. *)
 
 val subsystems : row list -> string list
 (** Union of subsystem tags across rows, sorted. *)

@@ -282,7 +282,7 @@ let sensitive_unsafe_of totals =
 
 (* ---- parallel execution ---- *)
 
-let run cfg =
+let run_sharded cfg =
   let n = max 1 cfg.shards in
   let workers = max 1 (min cfg.domains n) in
   let results = Array.make n None in
@@ -523,6 +523,105 @@ let to_json r =
   Buffer.contents buf
 
 let fingerprint r = Digest.to_hex (Digest.string (to_json r))
+
+(* Flight archive of a fleet report.  Everything comes from the merged
+   (domain-invariant) views, and the meta block deliberately excludes the
+   domain count — like [to_json], the archive is a pure function of the
+   config, so two runs of the same config diff to zero deltas whatever
+   parallelism executed them.  The fingerprint itself rides along in meta:
+   any drift the flattened scalars might miss still surfaces there. *)
+let snapshot r =
+  let meta =
+    [ ("shards", string_of_int r.config.shards);
+      ("level", Protection.name r.config.level);
+      ("mix", mix_name r.config.mix);
+      ("num_pages", string_of_int r.config.num_pages);
+      ("master_seed", string_of_int r.config.master_seed);
+      ("conns_low", string_of_int r.config.conns_low);
+      ("conns_high", string_of_int r.config.conns_high);
+      ("churn", string_of_int r.config.churn);
+      ("scan_mode", System.mode_name r.config.scan_mode);
+      ("fingerprint", fingerprint r)
+    ]
+  in
+  (* merged series only exist as points: the envelope below is over the
+     retained (possibly strided) merge, not the exact per-offer envelope a
+     single-run archive carries — still deterministic, still diffable *)
+  let series =
+    List.filter_map
+      (fun (m : Dashboard.metric_series) ->
+        match List.rev m.Dashboard.ms_points with
+        | [] -> None
+        | (last_tick, last) :: _ ->
+          let vs = List.map snd m.Dashboard.ms_points in
+          Some
+            { Obs.Snapshot.e_name = m.Dashboard.ms_name;
+              e_kind = m.Dashboard.ms_kind;
+              e_stride = m.Dashboard.ms_stride;
+              e_samples = m.Dashboard.ms_samples;
+              e_last_tick = last_tick;
+              e_last = last;
+              e_min = List.fold_left Float.min Float.infinity vs;
+              e_max = List.fold_left Float.max Float.neg_infinity vs;
+              e_points = m.Dashboard.ms_points
+            })
+      (merge_metrics r.shard_results)
+  in
+  let totals = merge_assoc (List.map (fun s -> s.totals) r.shard_results) in
+  let exposure =
+    List.map (fun ((o, c), v) -> (Obs.origin_name o, Obs.class_name c, v)) totals
+  in
+  let alerts =
+    List.map
+      (fun (_, (a : Dashboard.alert_firing)) ->
+        (a.Dashboard.fired_tick, a.Dashboard.rule, a.Dashboard.rule_series,
+         a.Dashboard.value))
+      (merge_alerts r.shard_results)
+  in
+  let budgets =
+    List.map
+      (fun (shard, (b : Forensics.budget_row)) ->
+        (Printf.sprintf "s%d:t%d" shard b.Forensics.br_trace, b.Forensics.br_byte_ticks))
+      (merge_budgets r.shard_results)
+  in
+  let shards =
+    List.map
+      (fun s ->
+        { Obs.Snapshot.sh_id = s.shard_id;
+          sh_label = server_name s.server;
+          sh_cells =
+            [ ("connections", float_of_int s.connections);
+              ("requests", float_of_int s.requests);
+              ("cycles", float_of_int s.cycles);
+              ("sensitive_unsafe", float_of_int (sensitive_unsafe_of s.totals));
+              ("final_copies",
+               float_of_int
+                 (match List.rev s.snapshots with
+                  | last :: _ -> last.Report.total
+                  | [] -> 0));
+              ("breaches", float_of_int (List.length s.breaches));
+              ("pages_swept", float_of_int s.pages_swept);
+              ("sweeps", float_of_int s.sweeps)
+            ]
+        })
+      r.shard_results
+  in
+  let scalars =
+    [ ("fleet.total_connections", float_of_int r.total_connections);
+      ("fleet.total_requests", float_of_int r.total_requests);
+      ("fleet.total_cycles", float_of_int r.total_cycles);
+      ("fleet.sensitive_unsafe_byte_ticks", float_of_int r.sensitive_unsafe)
+    ]
+  in
+  Obs.Snapshot.make ~kind:"fleet" ~meta ~series ~exposure
+    ~counters:(merge_assoc (List.map (fun s -> s.counters) r.shard_results))
+    ~cost_subsystem:(merge_assoc (List.map (fun s -> s.cycles_by_subsystem) r.shard_results))
+    ~alerts ~budgets ~scalars ~shards ()
+
+let run ?recorder cfg =
+  let r = run_sharded cfg in
+  (match recorder with None -> () | Some f -> f (snapshot r));
+  r
 
 let to_html r =
   let banner = Buffer.create 1024 in

@@ -111,11 +111,12 @@ val run_shard : config -> int -> shard_result
 (** Run shard [i] to completion on the calling domain.  Pure in
     [(config, i)]: same inputs, byte-identical result. *)
 
-val run : config -> report
+val run : ?recorder:(Memguard_obs.Obs.Snapshot.t -> unit) -> config -> report
 (** Run the whole fleet.  With [config.domains > 1] shards execute on
     that many OCaml domains (work-stealing over shard ids); with [1], or
     when only one shard exists, everything runs sequentially on the
-    calling domain.  The report is identical either way. *)
+    calling domain.  The report is identical either way.  [recorder]
+    receives {!snapshot} of the finished report. *)
 
 val derive_rng : config -> int -> Prng.t
 (** The PRNG stream shard [i] will use ([Prng.derive] from the master
@@ -151,5 +152,14 @@ val to_html : report -> string
 val fingerprint : report -> string
 (** MD5 hex digest of {!to_json} — the determinism guard: must not
     depend on [config.domains] or scheduling. *)
+
+val snapshot : report -> Memguard_obs.Obs.Snapshot.t
+(** Flight archive (kind ["fleet"]) of the merged report: merged series
+    (with envelopes over the merged points), exposure totals, counters,
+    subsystem cycles, alert firings, per-request leak budgets keyed
+    ["s<shard>:t<trace>"], one {!Memguard_obs.Obs.Snapshot.shard_env}
+    per shard, and fleet-wide total scalars.  Like {!to_json} it is a
+    pure function of the config — meta excludes the domain count and
+    carries {!fingerprint} — so same-config archives diff to zero. *)
 
 val pp_summary : Format.formatter -> report -> unit

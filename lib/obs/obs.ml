@@ -75,9 +75,13 @@ type record = { seq : int; tick : int; event : event; trace : int; span : int }
 
 (* Floats in exports print as integers when they are integral: series
    values are mostly exact counts, and the fixed form keeps canonical
-   JSON (and thus fleet fingerprints) byte-stable. *)
+   JSON (and thus fleet fingerprints) byte-stable.  NaN and the
+   infinities have no JSON representation at all — "%.6g" would emit
+   "nan"/"inf" and silently corrupt every archive downstream — so they
+   print as null, which parsers round-trip back to NaN. *)
 let float_json f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6g" f
 
 (* [birth_trace]/[birth_span] name the request-scoped causal span that
@@ -734,6 +738,12 @@ let prom_escape v =
     v;
   Buffer.contents b
 
+(* extra labels render ahead of the series label, so a multi-level scrape
+   (one page per protection level) keys every sample uniquely *)
+let prom_labels labels =
+  String.concat ""
+    (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"," k (prom_escape v)) labels)
+
 (* ---- metrics ---- *)
 
 module Metrics = struct
@@ -836,7 +846,8 @@ module Metrics = struct
      lines plus _sum and _count, timestamped with the simulation tick —
      the standard histogram triple, so span-duration distributions (fed
      per span name by [Profiler.exit]) graph directly in Grafana. *)
-  let to_prometheus ctx =
+  let to_prometheus ?(labels = []) ctx =
+    let pre = prom_labels labels in
     let buf = Buffer.create 1024 in
     List.iter
       (fun name ->
@@ -849,18 +860,18 @@ module Metrics = struct
             (fun le ->
               let n = List.length (List.filter (fun v -> v <= le) vs) in
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{series=\"%s\",le=\"%s\"} %d %d\n" pn esc
+                (Printf.sprintf "%s_bucket{%sseries=\"%s\",le=\"%s\"} %d %d\n" pn pre esc
                    (float_json le) n ctx.tick_))
             bucket_bounds;
           Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{series=\"%s\",le=\"+Inf\"} %d %d\n" pn esc
+            (Printf.sprintf "%s_bucket{%sseries=\"%s\",le=\"+Inf\"} %d %d\n" pn pre esc
                (List.length vs) ctx.tick_);
           Buffer.add_string buf
-            (Printf.sprintf "%s_sum{series=\"%s\"} %s %d\n" pn esc
+            (Printf.sprintf "%s_sum{%sseries=\"%s\"} %s %d\n" pn pre esc
                (float_json (List.fold_left ( +. ) 0. vs))
                ctx.tick_);
           Buffer.add_string buf
-            (Printf.sprintf "%s_count{series=\"%s\"} %d %d\n" pn esc (List.length vs)
+            (Printf.sprintf "%s_count{%sseries=\"%s\"} %d %d\n" pn pre esc (List.length vs)
                ctx.tick_)
         end)
       (histograms ctx);
@@ -1535,6 +1546,15 @@ module Timeseries = struct
   let kind ctx name = Option.map (fun s -> s.s_kind) (find ctx name)
   let source ctx name = Option.bind (find ctx name) (fun s -> s.s_source)
 
+  (* Exact all-time envelope — (last, prev, min, max) — independent of the
+     ring's downsampling: these fields are updated on every [offer], so a
+     series that has shed most of its points still answers precisely. *)
+  let envelope ctx name =
+    match find ctx name with
+    | Some s when s.s_seen > 0 ->
+      Some ((s.s_last_tick, s.s_last_val), (s.s_prev_tick, s.s_prev_val), s.s_min, s.s_max)
+    | _ -> None
+
   (* derived series carry their own export tag: a rate is stored as a
      gauge but must not masquerade as an independent measurement *)
   let export_kind s =
@@ -1546,7 +1566,8 @@ module Timeseries = struct
      exported as gauges); the raw series name rides along as an escaped
      [series] label so dotted names survive the [a-zA-Z0-9_]
      sanitization round trip. *)
-  let to_prometheus ctx =
+  let to_prometheus ?(labels = []) ctx =
+    let pre = prom_labels labels in
     let buf = Buffer.create 1024 in
     List.iter
       (fun name ->
@@ -1557,7 +1578,7 @@ module Timeseries = struct
           let kind = if counter then "counter" else "gauge" in
           Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" pn kind);
           Buffer.add_string buf
-            (Printf.sprintf "%s{series=\"%s\"} %s %d\n" pn (prom_escape name)
+            (Printf.sprintf "%s{%sseries=\"%s\"} %s %d\n" pn pre (prom_escape name)
                (float_json s.s_last_val) s.s_last_tick)
         | _ -> ())
       (names ctx);
@@ -1722,5 +1743,756 @@ module Alert = struct
              series (float_json value)))
       (firings ctx);
     Buffer.add_string buf "\n]";
+    Buffer.contents buf
+end
+
+(* ---- flight-recorder archives & structural run diffing ---- *)
+
+(* JSON string escaping (Printf %S is OCaml lexing — decimal \ddd escapes —
+   and must never reach an archive that a JSON parser will read back) *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Minimal recursive-descent JSON reader.  The repo emits all its JSON by
+   hand (canonically, for fingerprint stability); this is the matching
+   read side for flight archives — no external dependency, no stream
+   support, whole-document only.  [null] maps to NaN on numeric reads so
+   [float_json]'s NaN encoding round-trips. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse src =
+    let n = String.length src in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some src.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n && (match src.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && src.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub src !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail "bad literal"
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = src.[!pos] in
+        incr pos;
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          if !pos >= n then fail "unterminated escape";
+          let e = src.[!pos] in
+          incr pos;
+          (match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+             if !pos + 4 > n then fail "bad \\u escape";
+             let hex = String.sub src !pos 4 in
+             pos := !pos + 4;
+             let cp =
+               match int_of_string_opt ("0x" ^ hex) with
+               | Some cp -> cp
+               | None -> fail "bad \\u escape"
+             in
+             (* BMP code points decode as UTF-8; archives only ever emit
+                ASCII control escapes, so this is read-side generosity *)
+             if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+             else if cp < 0x800 then begin
+               Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+               Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+             end
+             else begin
+               Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+               Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+               Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+             end
+           | _ -> fail "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      while
+        !pos < n
+        && (match src.[!pos] with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false)
+      do
+        incr pos
+      done;
+      if !pos = start then fail "expected value";
+      match float_of_string_opt (String.sub src start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> Str (parse_string ())
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec loop () =
+            items := parse_value () :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              loop ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']'"
+          in
+          loop ();
+          Arr (List.rev !items)
+        end
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec loop () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              loop ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}'"
+          in
+          loop ();
+          Obj (List.rev !fields)
+        end
+      | Some _ -> Num (parse_number ())
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at byte %d" !pos) else Ok v
+    with Bad msg -> Error msg
+
+  let mem k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+end
+
+module Snapshot = struct
+  let version = 1
+
+  type series_env = {
+    e_name : string;
+    e_kind : string;
+    e_stride : int;
+    e_samples : int;
+    e_last_tick : int;
+    e_last : float;
+    e_min : float;
+    e_max : float;
+    e_points : (int * float) list;
+  }
+
+  type shard_env = { sh_id : int; sh_label : string; sh_cells : (string * float) list }
+
+  type t = {
+    ar_version : int;
+    ar_kind : string;
+    ar_meta : (string * string) list;
+    ar_series : series_env list;
+    ar_exposure : (string * string * int) list;
+    ar_counters : (string * int) list;
+    ar_cost_subsystem : (string * int) list;
+    ar_cost_op : (string * int * int) list;
+    ar_alerts : (int * string * string * float) list;
+    ar_budgets : (string * int) list;
+    ar_scalars : (string * float) list;
+    ar_shards : shard_env list;
+  }
+
+  (* Every component is stored name-sorted (alerts stay chronological):
+     the archive is canonical regardless of hash-table iteration order,
+     so byte equality of two archives means observable equality. *)
+  let make ?(kind = "run") ?(meta = []) ?(series = []) ?(exposure = []) ?(counters = [])
+      ?(cost_subsystem = []) ?(cost_op = []) ?(alerts = []) ?(budgets = []) ?(scalars = [])
+      ?(shards = []) () =
+    { ar_version = version;
+      ar_kind = kind;
+      ar_meta = List.sort compare meta;
+      ar_series = List.sort (fun a b -> compare a.e_name b.e_name) series;
+      ar_exposure = List.sort compare exposure;
+      ar_counters = List.sort compare counters;
+      ar_cost_subsystem = List.sort compare cost_subsystem;
+      ar_cost_op = List.sort compare cost_op;
+      ar_alerts = alerts;
+      ar_budgets = List.sort compare budgets;
+      ar_scalars = List.sort compare scalars;
+      ar_shards = List.sort (fun a b -> compare a.sh_id b.sh_id) shards
+    }
+
+  let of_scalars ?(kind = "scalars") ?(meta = []) scalars = make ~kind ~meta ~scalars ()
+
+  (* Capture everything observable in [ctx]: series envelopes + retained
+     points, the exposure ledger, counters, cost totals, alert firings and
+     per-request leak budgets.  Histograms contribute only their sample
+     counts — span-duration values are deterministic simulated cycles, but
+     their full sample lists would bloat archives without adding diffable
+     signal beyond the cost totals already captured. *)
+  let record ~kind ?(meta = []) ?(scalars = []) ?(shards = []) ctx =
+    let series =
+      List.filter_map
+        (fun name ->
+          match Hashtbl.find_opt ctx.series_ name with
+          | Some s when s.s_seen > 0 ->
+            Some
+              { e_name = name;
+                e_kind = Timeseries.export_kind s;
+                e_stride = s.s_stride;
+                e_samples = s.s_seen;
+                e_last_tick = s.s_last_tick;
+                e_last = s.s_last_val;
+                e_min = s.s_min;
+                e_max = s.s_max;
+                e_points = List.init s.s_len (fun i -> (s.s_ticks.(i), s.s_vals.(i)))
+              }
+          | _ -> None)
+        (Timeseries.names ctx)
+    in
+    let totals = Exposure.totals ctx in
+    let exposure = List.map (fun ((o, c), v) -> (origin_name o, class_name c, v)) totals in
+    let unsafe =
+      List.fold_left
+        (fun acc ((o, c), v) ->
+          if origin_sensitive o && c <> Mlocked_anon then acc + v else acc)
+        0 totals
+    in
+    let cost_op =
+      List.map (fun (op, cnt, cyc) -> (Cost.op_name op, cnt, cyc)) (Cost.by_op ctx)
+    in
+    let budgets =
+      List.map (fun (t, v) -> (Printf.sprintf "t%d" t, v)) (Trace.leak_budget ctx)
+    in
+    let hist_scalars =
+      List.map
+        (fun name ->
+          ( Printf.sprintf "hist:%s/count" name,
+            float_of_int (List.length (Metrics.samples ctx name)) ))
+        (Metrics.histograms ctx)
+    in
+    make ~kind ~meta ~series ~exposure ~counters:(Metrics.counters ctx)
+      ~cost_subsystem:(Cost.by_subsystem ctx) ~cost_op ~alerts:(Alert.firings ctx) ~budgets
+      ~scalars:
+        ((("exposure.sensitive_unsafe_total", float_of_int unsafe) :: hist_scalars)
+        @ scalars)
+      ~shards ()
+
+  let to_json t =
+    let buf = Buffer.create 8192 in
+    let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+    Buffer.add_string buf
+      (Printf.sprintf "{\n\"flight_version\": %d,\n\"kind\": %s,\n" t.ar_version
+         (str t.ar_kind));
+    Buffer.add_string buf "\"meta\": {";
+    List.iteri
+      (fun i (k, v) ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf (Printf.sprintf "%s: %s" (str k) (str v)))
+      t.ar_meta;
+    Buffer.add_string buf "\n},\n\"scalars\": {";
+    List.iteri
+      (fun i (k, v) ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf (Printf.sprintf "%s: %s" (str k) (float_json v)))
+      t.ar_scalars;
+    Buffer.add_string buf "\n},\n\"series\": [";
+    List.iteri
+      (fun i e ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":%s,\"kind\":%s,\"stride\":%d,\"samples\":%d,\"last_tick\":%d,\"last\":%s,\"min\":%s,\"max\":%s,\"points\":["
+             (str e.e_name) (str e.e_kind) e.e_stride e.e_samples e.e_last_tick
+             (float_json e.e_last) (float_json e.e_min) (float_json e.e_max));
+        List.iteri
+          (fun j (tk, v) ->
+            if j > 0 then Buffer.add_string buf ",";
+            Buffer.add_string buf (Printf.sprintf "[%d,%s]" tk (float_json v)))
+          e.e_points;
+        Buffer.add_string buf "]}")
+      t.ar_series;
+    Buffer.add_string buf "\n],\n\"exposure\": [";
+    List.iteri
+      (fun i (o, c, v) ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf
+          (Printf.sprintf "{\"origin\":%s,\"class\":%s,\"byte_ticks\":%d}" (str o) (str c)
+             v))
+      t.ar_exposure;
+    Buffer.add_string buf "\n],\n\"counters\": {";
+    List.iteri
+      (fun i (k, v) ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf (Printf.sprintf "%s: %d" (str k) v))
+      t.ar_counters;
+    Buffer.add_string buf "\n},\n\"cost_subsystem\": {";
+    List.iteri
+      (fun i (k, v) ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf (Printf.sprintf "%s: %d" (str k) v))
+      t.ar_cost_subsystem;
+    Buffer.add_string buf "\n},\n\"cost_op\": [";
+    List.iteri
+      (fun i (op, cnt, cyc) ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf
+          (Printf.sprintf "{\"op\":%s,\"count\":%d,\"cycles\":%d}" (str op) cnt cyc))
+      t.ar_cost_op;
+    Buffer.add_string buf "\n],\n\"alerts\": [";
+    List.iteri
+      (fun i (tick, rule, series, value) ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf
+          (Printf.sprintf "{\"tick\":%d,\"rule\":%s,\"series\":%s,\"value\":%s}" tick
+             (str rule) (str series) (float_json value)))
+      t.ar_alerts;
+    Buffer.add_string buf "\n],\n\"budgets\": {";
+    List.iteri
+      (fun i (k, v) ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf (Printf.sprintf "%s: %d" (str k) v))
+      t.ar_budgets;
+    Buffer.add_string buf "\n},\n\"shards\": [";
+    List.iteri
+      (fun i sh ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        Buffer.add_string buf
+          (Printf.sprintf "{\"id\":%d,\"label\":%s,\"cells\":{" sh.sh_id (str sh.sh_label));
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_string buf ",";
+            Buffer.add_string buf (Printf.sprintf "%s:%s" (str k) (float_json v)))
+          sh.sh_cells;
+        Buffer.add_string buf "}}")
+      t.ar_shards;
+    Buffer.add_string buf "\n]\n}\n";
+    Buffer.contents buf
+
+  let of_json text =
+    match Json.parse text with
+    | Error e -> Error ("flight archive: " ^ e)
+    | Ok root ->
+      let open Json in
+      let jnum = function
+        | Num f -> f
+        | Null -> Float.nan
+        | Bool b -> if b then 1. else 0.
+        | _ -> Float.nan
+      in
+      let jint j =
+        let f = jnum j in
+        if Float.is_nan f then 0 else int_of_float f
+      in
+      let jstr = function Str s -> s | _ -> "" in
+      let jarr = function Some (Arr l) -> l | _ -> [] in
+      let jobj = function Some (Obj l) -> l | _ -> [] in
+      (match mem "flight_version" root with
+       | Some (Num v) when int_of_float v = version ->
+         let g j k = Option.value ~default:Null (mem k j) in
+         let series =
+           List.map
+             (fun j ->
+               { e_name = jstr (g j "name");
+                 e_kind = jstr (g j "kind");
+                 e_stride = jint (g j "stride");
+                 e_samples = jint (g j "samples");
+                 e_last_tick = jint (g j "last_tick");
+                 e_last = jnum (g j "last");
+                 e_min = jnum (g j "min");
+                 e_max = jnum (g j "max");
+                 e_points =
+                   List.filter_map
+                     (function Arr [ tk; v ] -> Some (jint tk, jnum v) | _ -> None)
+                     (match g j "points" with Arr l -> l | _ -> [])
+               })
+             (jarr (mem "series" root))
+         in
+         let exposure =
+           List.map
+             (fun j -> (jstr (g j "origin"), jstr (g j "class"), jint (g j "byte_ticks")))
+             (jarr (mem "exposure" root))
+         in
+         let cost_op =
+           List.map
+             (fun j -> (jstr (g j "op"), jint (g j "count"), jint (g j "cycles")))
+             (jarr (mem "cost_op" root))
+         in
+         let alerts =
+           List.map
+             (fun j ->
+               (jint (g j "tick"), jstr (g j "rule"), jstr (g j "series"), jnum (g j "value")))
+             (jarr (mem "alerts" root))
+         in
+         let shards =
+           List.map
+             (fun j ->
+               { sh_id = jint (g j "id");
+                 sh_label = jstr (g j "label");
+                 sh_cells =
+                   List.map (fun (k, v) -> (k, jnum v)) (jobj (mem "cells" j))
+               })
+             (jarr (mem "shards" root))
+         in
+         Ok
+           (make
+              ~kind:(match mem "kind" root with Some (Str s) -> s | _ -> "run")
+              ~meta:(List.map (fun (k, v) -> (k, jstr v)) (jobj (mem "meta" root)))
+              ~series ~exposure
+              ~counters:(List.map (fun (k, v) -> (k, jint v)) (jobj (mem "counters" root)))
+              ~cost_subsystem:
+                (List.map (fun (k, v) -> (k, jint v)) (jobj (mem "cost_subsystem" root)))
+              ~cost_op ~alerts
+              ~budgets:(List.map (fun (k, v) -> (k, jint v)) (jobj (mem "budgets" root)))
+              ~scalars:(List.map (fun (k, v) -> (k, jnum v)) (jobj (mem "scalars" root)))
+              ~shards ())
+       | Some (Num v) ->
+         Error
+           (Printf.sprintf "flight archive: unsupported version %d (this build reads %d)"
+              (int_of_float v) version)
+       | _ -> Error "flight archive: missing flight_version")
+
+  let write path t =
+    let oc = open_out path in
+    output_string oc (to_json t);
+    close_out oc
+
+  let read path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e -> Error e
+    | text -> of_json text
+
+  (* Flatten an archive into one sorted scalar key space so the differ
+     aligns two runs purely by key, regardless of which components each
+     recorded.  The "family:" prefixes double as classification hints for
+     [Diff.family_of_key]. *)
+  let scalars t =
+    let acc = ref [] in
+    let add k v = acc := (k, v) :: !acc in
+    List.iter (fun (k, v) -> add k v) t.ar_scalars;
+    List.iter
+      (fun e ->
+        add (Printf.sprintf "series:%s/last" e.e_name) e.e_last;
+        add (Printf.sprintf "series:%s/min" e.e_name) e.e_min;
+        add (Printf.sprintf "series:%s/max" e.e_name) e.e_max;
+        add (Printf.sprintf "series:%s/samples" e.e_name) (float_of_int e.e_samples))
+      t.ar_series;
+    List.iter
+      (fun (o, c, v) -> add (Printf.sprintf "exposure:%s/%s" o c) (float_of_int v))
+      t.ar_exposure;
+    List.iter (fun (k, v) -> add (Printf.sprintf "counter:%s" k) (float_of_int v))
+      t.ar_counters;
+    (match t.ar_cost_subsystem with
+     | [] -> ()
+     | subs ->
+       add "cost:total" (float_of_int (List.fold_left (fun a (_, c) -> a + c) 0 subs));
+       List.iter (fun (k, v) -> add (Printf.sprintf "cost:%s" k) (float_of_int v)) subs);
+    List.iter
+      (fun (op, cnt, cyc) ->
+        add (Printf.sprintf "cost:op:%s/count" op) (float_of_int cnt);
+        add (Printf.sprintf "cost:op:%s/cycles" op) (float_of_int cyc))
+      t.ar_cost_op;
+    let fired = Hashtbl.create 8 in
+    List.iter
+      (fun (_, rule, _, _) ->
+        Hashtbl.replace fired rule
+          (1 + Option.value ~default:0 (Hashtbl.find_opt fired rule)))
+      t.ar_alerts;
+    Hashtbl.fold (fun rule n acc -> (rule, n) :: acc) fired []
+    |> List.sort compare
+    |> List.iter (fun (rule, n) ->
+         add (Printf.sprintf "alert:fired:%s" rule) (float_of_int n));
+    List.iter (fun (k, v) -> add (Printf.sprintf "budget:%s" k) (float_of_int v))
+      t.ar_budgets;
+    List.iter
+      (fun sh ->
+        List.iter (fun (k, v) -> add (Printf.sprintf "shard:%d/%s" sh.sh_id k) v)
+          sh.sh_cells)
+      t.ar_shards;
+    List.sort compare !acc
+end
+
+module Diff = struct
+  type family = Deterministic | Wallclock | Exposure
+
+  type verdict = Improvement | Regression | Neutral
+
+  type delta = {
+    d_key : string;
+    d_family : family;
+    d_base : float option;
+    d_cur : float option;
+    d_verdict : verdict;
+    d_hard : bool;
+    d_pct : float;
+  }
+
+  type t = {
+    meta_diff : (string * string option * string option) list;
+    deltas : delta list;
+    compared : int;
+  }
+
+  let family_name = function
+    | Deterministic -> "deterministic"
+    | Wallclock -> "wall-clock"
+    | Exposure -> "exposure"
+
+  let verdict_name = function
+    | Improvement -> "improvement"
+    | Regression -> "regression"
+    | Neutral -> "neutral"
+
+  let has_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+
+  (* Same heuristic the bench gate has always used: seconds suffixes and
+     rate-like names are host-dependent wall-clock measurements (warn
+     only); everything else the simulation computes is deterministic.
+     "rate" must match as the token "_rate", not a substring — bare
+     substring matching classified every *_integrated key as wall-clock
+     (integ-RATE-d), silently downgrading the level's cycle totals to
+     warn-only in the old hand-rolled bench gate. *)
+  let wallclockish key =
+    (String.length key > 2 && String.sub key (String.length key - 2) 2 = "_s")
+    || List.exists (has_sub key) [ "per_sec"; "_pct"; "speedup"; "_rate"; "ratio"; "wall" ]
+    || (String.length key >= 5 && String.sub key 0 5 = "rate_")
+
+  let family_of_key key =
+    if
+      List.exists (has_sub key) [ "exposure"; "sensitive_unsafe"; "byte_ticks" ]
+      || (String.length key >= 7 && String.sub key 0 7 = "budget:")
+    then Exposure
+    else if wallclockish key then Wallclock
+    else Deterministic
+
+  (* NaN came from a null in the archive: two nulls agree *)
+  let eq_float a b = (Float.is_nan a && Float.is_nan b) || a = b
+
+  let diff ?(det_tol_pct = 0.) ?(wall_tol_pct = 10.) ?(exp_tol_pct = 0.) base cur =
+    let bt = Hashtbl.create 64 and ct = Hashtbl.create 64 in
+    List.iter (fun (k, v) -> Hashtbl.replace bt k v) (Snapshot.scalars base);
+    List.iter (fun (k, v) -> Hashtbl.replace ct k v) (Snapshot.scalars cur);
+    let keys =
+      List.sort_uniq compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) bt
+           (Hashtbl.fold (fun k _ acc -> k :: acc) ct []))
+    in
+    let deltas = ref [] and compared = ref 0 in
+    List.iter
+      (fun key ->
+        incr compared;
+        let fam = family_of_key key in
+        let tol =
+          match fam with
+          | Deterministic -> det_tol_pct
+          | Wallclock -> wall_tol_pct
+          | Exposure -> exp_tol_pct
+        in
+        match (Hashtbl.find_opt bt key, Hashtbl.find_opt ct key) with
+        | Some b, Some c when eq_float b c -> ()
+        | Some b, Some c ->
+          let pct = 100. *. (c -. b) /. Float.max 1. (Float.abs b) in
+          if Float.abs pct <= tol then ()
+          else begin
+            let verdict = if pct > 0. then Regression else Improvement in
+            deltas :=
+              { d_key = key;
+                d_family = fam;
+                d_base = Some b;
+                d_cur = Some c;
+                d_verdict = verdict;
+                d_hard = verdict = Regression && fam <> Wallclock;
+                d_pct = pct
+              }
+              :: !deltas
+          end
+        | Some b, None ->
+          (* a vanished deterministic/exposure observable is itself a hard
+             failure: the run stopped measuring something it used to *)
+          deltas :=
+            { d_key = key;
+              d_family = fam;
+              d_base = Some b;
+              d_cur = None;
+              d_verdict = Regression;
+              d_hard = fam <> Wallclock;
+              d_pct = 0.
+            }
+            :: !deltas
+        | None, Some c ->
+          deltas :=
+            { d_key = key;
+              d_family = fam;
+              d_base = None;
+              d_cur = Some c;
+              d_verdict = Neutral;
+              d_hard = false;
+              d_pct = 0.
+            }
+            :: !deltas
+        | None, None -> ())
+      keys;
+    let meta_diff =
+      let mkeys =
+        List.sort_uniq compare
+          (List.map fst base.Snapshot.ar_meta @ List.map fst cur.Snapshot.ar_meta)
+      in
+      List.filter_map
+        (fun k ->
+          let b = List.assoc_opt k base.Snapshot.ar_meta
+          and c = List.assoc_opt k cur.Snapshot.ar_meta in
+          if b = c then None else Some (k, b, c))
+        mkeys
+    in
+    let meta_diff =
+      if base.Snapshot.ar_kind = cur.Snapshot.ar_kind then meta_diff
+      else ("kind", Some base.Snapshot.ar_kind, Some cur.Snapshot.ar_kind) :: meta_diff
+    in
+    { meta_diff; deltas = List.rev !deltas; compared = !compared }
+
+  let improvements t =
+    List.length (List.filter (fun d -> d.d_verdict = Improvement) t.deltas)
+
+  let regressions t = List.length (List.filter (fun d -> d.d_verdict = Regression) t.deltas)
+  let hard_regressions t = List.length (List.filter (fun d -> d.d_hard) t.deltas)
+  let added t = List.length (List.filter (fun d -> d.d_verdict = Neutral) t.deltas)
+
+  let opt_val = function None -> "-" | Some v -> float_json v
+
+  let pp fmt t =
+    if t.meta_diff <> [] then begin
+      Format.fprintf fmt "meta changes:@.";
+      List.iter
+        (fun (k, b, c) ->
+          Format.fprintf fmt "  %-28s %s -> %s@." k
+            (Option.value ~default:"-" b)
+            (Option.value ~default:"-" c))
+        t.meta_diff
+    end;
+    if t.deltas = [] then
+      Format.fprintf fmt "no deltas (%d observables compared)@." t.compared
+    else begin
+      Format.fprintf fmt "%-52s %-13s %14s %14s %9s  %s@." "observable" "family" "base"
+        "current" "delta%" "verdict";
+      List.iter
+        (fun d ->
+          Format.fprintf fmt "%-52s %-13s %14s %14s %9s  %s%s@." d.d_key
+            (family_name d.d_family) (opt_val d.d_base) (opt_val d.d_cur)
+            (if d.d_base = None || d.d_cur = None then "-"
+             else Printf.sprintf "%+.1f" d.d_pct)
+            (verdict_name d.d_verdict)
+            (if d.d_hard then " [hard]"
+             else if d.d_verdict = Regression then " [warn]"
+             else ""))
+        t.deltas;
+      Format.fprintf fmt "%d compared: %d improvement(s), %d regression(s) (%d hard), %d new key(s)@."
+        t.compared (improvements t) (regressions t) (hard_regressions t) (added t)
+    end
+
+  let to_json t =
+    let buf = Buffer.create 2048 in
+    let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+    Buffer.add_string buf (Printf.sprintf "{\n\"compared\": %d,\n\"meta\": [" t.compared);
+    List.iteri
+      (fun i (k, b, c) ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        let s = function None -> "null" | Some v -> str v in
+        Buffer.add_string buf
+          (Printf.sprintf "{\"key\":%s,\"base\":%s,\"current\":%s}" (str k) (s b) (s c)))
+      t.meta_diff;
+    Buffer.add_string buf "\n],\n\"deltas\": [";
+    List.iteri
+      (fun i d ->
+        Buffer.add_string buf (if i = 0 then "\n " else ",\n ");
+        let opt = function None -> "null" | Some v -> float_json v in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"key\":%s,\"family\":%s,\"base\":%s,\"current\":%s,\"pct\":%s,\"verdict\":%s,\"hard\":%b}"
+             (str d.d_key)
+             (str (family_name d.d_family))
+             (opt d.d_base) (opt d.d_cur) (float_json d.d_pct)
+             (str (verdict_name d.d_verdict))
+             d.d_hard))
+      t.deltas;
+    Buffer.add_string buf "\n]\n}\n";
     Buffer.contents buf
 end

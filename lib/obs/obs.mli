@@ -65,7 +65,10 @@ val all_classes : mem_class list
 val float_json : float -> string
 (** Deterministic float formatting for canonical exports: integral values
     print with no fraction or exponent ([4096.] -> ["4096"]), the rest as
-    ["%.6g"].  Every JSON renderer that feeds a fingerprint shares it. *)
+    ["%.6g"], and NaN / the infinities as ["null"] (the ["%.6g"] forms
+    ["nan"]/["inf"] are not JSON and would corrupt every archive
+    downstream; {!Snapshot.of_json} reads [null] back as NaN).  Every
+    JSON renderer that feeds a fingerprint shares it. *)
 
 (** Typed lifecycle events.  Addresses are {e physical} (or swap-device
     offsets for {!Swap_out}); a virtually contiguous buffer that spans
@@ -289,13 +292,15 @@ module Metrics : sig
       bucket lines — one shared, deterministic ladder for every
       histogram (span durations in simulated cycles span this range). *)
 
-  val to_prometheus : ctx -> string
+  val to_prometheus : ?labels:(string * string) list -> ctx -> string
   (** Prometheus text exposition of every histogram as the standard
       triple: cumulative [_bucket{le="..."}] lines over
       {!bucket_bounds} (plus [le="+Inf"]), then [_sum] and [_count],
       timestamped with the simulation tick.  Span-duration histograms
       (fed per span name by [Profiler.exit] as
-      [span.<name>.cycles]) export here. *)
+      [span.<name>.cycles]) export here.  [labels] (default none)
+      prepends extra label pairs to every sample line — e.g.
+      [("level", "integrated")] so multi-level scrapes don't collide. *)
 end
 
 (** Registry of physical byte ranges known to hold copies of key-material,
@@ -656,12 +661,22 @@ module Timeseries : sig
       (see {!define_rate}); [None] for directly recorded series.  JSON
       exports tag such series with kind ["rate"]. *)
 
-  val to_prometheus : ctx -> string
+  val envelope : ctx -> string -> ((int * float) * (int * float) * float * float) option
+  (** [((last_tick, last), (prev_tick, prev), min, max)] over {e all}
+      offered samples — exact regardless of how far the ring has
+      downsampled, because these fields update on every offer.  [None]
+      for an unknown or never-sampled series.  After exactly one sample,
+      [prev = last]. *)
+
+  val to_prometheus : ?labels:(string * string) list -> ctx -> string
   (** Prometheus text exposition: a [# TYPE] line plus
       [memguard_<sanitized_name>{series="<raw name>"} <last_value> <tick>]
       per series.  Counters (not derived rates) carry the conventional
       [_total] suffix; the [series] label holds the raw dotted name with
-      backslash/quote/newline escaped per the exposition format. *)
+      backslash/quote/newline escaped per the exposition format.
+      [labels] (default none) prepends extra label pairs to every sample
+      line — e.g. [("level", "integrated")] so scrapes of several
+      protection levels don't collide on the series name. *)
 
   val to_json : ctx -> string
   (** Canonical JSON array (name-sorted) of
@@ -719,4 +734,200 @@ module Alert : sig
   val to_json : ctx -> string
   (** Canonical JSON array of
       [{"tick", "rule", "series", "value"}], chronological. *)
+end
+
+val json_escape : string -> string
+(** JSON string-body escaping (quote, backslash, control characters).
+    Distinct from [Printf %S], which is {e OCaml} lexing with decimal
+    [\ddd] escapes — feeding [%S] output to a JSON parser corrupts any
+    string containing a control byte.  Flight archives use this. *)
+
+(** Flight-recorder archive: the full observable state of one run —
+    series envelopes with retained points, the exposure ledger per
+    origin x class, counters, per-subsystem / per-op cost totals, alert
+    firings, per-request leak budgets, free-form scalars, and (for fleet
+    runs) per-shard rollups — as one versioned, canonical, diffable JSON
+    document.  Recording reads observer state only: a recorder-on run is
+    byte-identical to a recorder-off run. *)
+module Snapshot : sig
+  val version : int
+  (** Archive format version ([1]); {!of_json} rejects any other. *)
+
+  (** Per-series envelope: the exact all-time last / min / max (updated
+      on every offer, independent of downsampling) plus the retained,
+      possibly strided points. *)
+  type series_env = {
+    e_name : string;
+    e_kind : string;  (** ["gauge"] / ["counter"] / ["rate"] *)
+    e_stride : int;
+    e_samples : int;  (** total offered, not retained *)
+    e_last_tick : int;
+    e_last : float;
+    e_min : float;
+    e_max : float;
+    e_points : (int * float) list;
+  }
+
+  (** One fleet shard's rollup: named scalar cells
+      (e.g. ["requests"], ["sensitive_unsafe"]). *)
+  type shard_env = { sh_id : int; sh_label : string; sh_cells : (string * float) list }
+
+  type t = {
+    ar_version : int;
+    ar_kind : string;  (** ["timeline"] / ["overhead"] / ["fleet"] / ... *)
+    ar_meta : (string * string) list;  (** config identity: level, seed, pages... *)
+    ar_series : series_env list;
+    ar_exposure : (string * string * int) list;  (** (origin, class, byte-ticks) *)
+    ar_counters : (string * int) list;
+    ar_cost_subsystem : (string * int) list;
+    ar_cost_op : (string * int * int) list;  (** (op, count, cycles) *)
+    ar_alerts : (int * string * string * float) list;
+        (** (tick, rule, series, value), chronological *)
+    ar_budgets : (string * int) list;
+        (** leak budgets in byte-ticks, keyed ["t<trace>"] (single run) or
+            ["s<shard>:t<trace>"] (fleet) *)
+    ar_scalars : (string * float) list;  (** free-form named measurements *)
+    ar_shards : shard_env list;
+  }
+
+  val make :
+    ?kind:string ->
+    ?meta:(string * string) list ->
+    ?series:series_env list ->
+    ?exposure:(string * string * int) list ->
+    ?counters:(string * int) list ->
+    ?cost_subsystem:(string * int) list ->
+    ?cost_op:(string * int * int) list ->
+    ?alerts:(int * string * string * float) list ->
+    ?budgets:(string * int) list ->
+    ?scalars:(string * float) list ->
+    ?shards:shard_env list ->
+    unit ->
+    t
+  (** Assemble an archive from components.  Every component is stored
+      name-sorted (alerts stay chronological), so construction order
+      never leaks into the canonical bytes. *)
+
+  val of_scalars : ?kind:string -> ?meta:(string * string) list -> (string * float) list -> t
+  (** Scalars-only archive — the shape the bench gate records. *)
+
+  val record :
+    kind:string ->
+    ?meta:(string * string) list ->
+    ?scalars:(string * float) list ->
+    ?shards:shard_env list ->
+    ctx ->
+    t
+  (** Capture everything observable in [ctx]: all sampled series (with
+      exact envelopes), {!Exposure.totals}, counters, {!Cost.by_subsystem}
+      and {!Cost.by_op}, {!Alert.firings} and {!Trace.leak_budget}
+      (keyed ["t<trace>"]).  Adds computed scalars:
+      ["exposure.sensitive_unsafe_total"] (byte-ticks of sensitive
+      origins outside mlocked memory — the paper's headline, [0] at
+      Integrated) and ["hist:<name>/count"] per histogram.  Read-only on
+      [ctx]. *)
+
+  val to_json : t -> string
+  (** Canonical versioned JSON — byte-stable for equal archives. *)
+
+  val of_json : string -> (t, string) result
+  (** Parse an archive; [Error] on malformed JSON or a version this
+      build does not read.  [null] numerics become NaN.  Unknown fields
+      are ignored, missing components default empty. *)
+
+  val write : string -> t -> unit
+  (** [write path t] writes {!to_json} to [path]. *)
+
+  val read : string -> (t, string) result
+  (** Read and parse the archive at a path; [Error] with the I/O or
+      parse message on failure. *)
+
+  val scalars : t -> (string * float) list
+  (** Flatten the archive into one sorted scalar key space — the
+      alignment domain for {!Diff.diff}: raw scalars under their own
+      names, plus ["series:<name>/last|min|max|samples"],
+      ["exposure:<origin>/<class>"], ["counter:<name>"], ["cost:total"],
+      ["cost:<subsystem>"], ["cost:op:<op>/count|cycles"],
+      ["alert:fired:<rule>"], ["budget:<key>"] and
+      ["shard:<id>/<cell>"]. *)
+end
+
+(** Structural differ over two {!Snapshot} archives.
+
+    Archives are flattened ({!Snapshot.scalars}) and aligned by key;
+    every differing key becomes a {!Diff.delta} classified by metric
+    family: deterministic simulation outputs (exact by default, any
+    regression is {e hard}), wall-clock measurements (tolerant and
+    warn-only — host noise must never gate), and exposure byte-ticks
+    (exact and hard — the security result itself).  Two archives from
+    the same seed and config diff to zero deltas. *)
+module Diff : sig
+  type family = Deterministic | Wallclock | Exposure
+
+  type verdict = Improvement | Regression | Neutral
+
+  type delta = {
+    d_key : string;
+    d_family : family;
+    d_base : float option;  (** [None] = key absent in the base archive *)
+    d_cur : float option;  (** [None] = key vanished from the current archive *)
+    d_verdict : verdict;
+    d_hard : bool;  (** regression in a non-wall-clock family *)
+    d_pct : float;  (** signed percent change ([0.] when a side is absent) *)
+  }
+
+  type t = {
+    meta_diff : (string * string option * string option) list;
+        (** meta keys whose values differ, as [(key, base, current)] *)
+    deltas : delta list;  (** key-sorted; only differing keys appear *)
+    compared : int;  (** total aligned keys examined *)
+  }
+
+  val family_name : family -> string
+  (** ["deterministic"] / ["wall-clock"] / ["exposure"]. *)
+
+  val verdict_name : verdict -> string
+  (** ["improvement"] / ["regression"] / ["neutral"]. *)
+
+  val family_of_key : string -> family
+  (** Classify a flattened key: exposure if it mentions ["exposure"],
+      ["sensitive_unsafe"] or ["byte_ticks"] or is a ["budget:"] entry;
+      else wall-clock on the bench gate's long-standing heuristic
+      ([_s] suffix, ["per_sec"], ["_pct"], ["speedup"], ["_rate"] as a
+      token, ["ratio"], ["wall"]); else deterministic.  The ["rate"]
+      match is deliberately a token, not a substring — a substring match
+      classified every [*_integrated] key as wall-clock. *)
+
+  val diff :
+    ?det_tol_pct:float ->
+    ?wall_tol_pct:float ->
+    ?exp_tol_pct:float ->
+    Snapshot.t ->
+    Snapshot.t ->
+    t
+  (** [diff base current] aligns and classifies.  A value
+      changed beyond its family tolerance (percent of [max 1 |base|];
+      defaults [0] / [10] / [0]) is a {!Regression} when it grew and an
+      {!Improvement} when it shrank — every recorded magnitude (cycles,
+      byte-ticks, seconds, firings) reads "less is better".  A key
+      vanished from [current] is a (hard, unless wall-clock) regression;
+      a new key is a {!Neutral} note.  Equal or within-tolerance keys
+      produce no delta. *)
+
+  val improvements : t -> int
+  val regressions : t -> int
+
+  val hard_regressions : t -> int
+  (** Regressions outside the wall-clock family — the gate signal. *)
+
+  val added : t -> int
+  (** Keys present only in the current archive (neutral notes). *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Text report: meta changes, one row per delta (key, family, base,
+      current, delta%%, verdict with [[hard]]/[[warn]] tag), summary
+      line — or a single "no deltas" line. *)
+
+  val to_json : t -> string
+  (** Canonical JSON: [{"compared", "meta": [...], "deltas": [...]}]. *)
 end

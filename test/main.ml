@@ -29,6 +29,7 @@ let () =
         Test_fleet.suite;
          Test_forensics.suite;
          Test_telemetry.suite;
+         Test_flight.suite;
          Test_ct.suite;
          Test_final.suite
        ])

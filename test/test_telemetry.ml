@@ -85,6 +85,65 @@ let test_downsampling_keeps_envelope () =
   Alcotest.(check (option (pair int (float 0.0)))) "last is lossless" (Some (100, 100.))
     (Obs.Timeseries.last obs "d")
 
+(* Downsampling edges: the all-time envelope must stay exact at the
+   degenerate ends of the parameter space, because the flight recorder
+   archives it and the differ treats any envelope drift as a regression. *)
+let test_downsampling_single_point () =
+  let obs = Obs.create () in
+  record_at obs 5 "solo" 42.;
+  Alcotest.(check int) "one offer" 1 (Obs.Timeseries.sample_count obs "solo");
+  Alcotest.(check (float 0.0)) "spread of one sample is 0" 0.
+    (Obs.Timeseries.spread obs "solo");
+  match Obs.Timeseries.envelope obs "solo" with
+  | None -> Alcotest.fail "envelope must exist after one offer"
+  | Some (last, prev, mn, mx) ->
+    Alcotest.(check (pair int (float 0.0))) "last" (5, 42.) last;
+    (* the first sample seeds prev = last, so rate predicates read 0 *)
+    Alcotest.(check (pair int (float 0.0))) "prev seeded to last" (5, 42.) prev;
+    Alcotest.(check (float 0.0)) "min" 42. mn;
+    Alcotest.(check (float 0.0)) "max" 42. mx
+
+let test_downsampling_constant_series () =
+  let obs = Obs.create () in
+  Obs.Timeseries.define obs ~capacity:8 "flat";
+  for t = 1 to 50 do
+    record_at obs t "flat" 7.
+  done;
+  Alcotest.(check (float 0.0)) "constant series has spread 0" 0.
+    (Obs.Timeseries.spread obs "flat");
+  match Obs.Timeseries.envelope obs "flat" with
+  | None -> Alcotest.fail "envelope must exist"
+  | Some ((lt, lv), _, mn, mx) ->
+    Alcotest.(check (pair int (float 0.0))) "last" (50, 7.) (lt, lv);
+    Alcotest.(check (float 0.0)) "min = max" mn mx
+
+let test_stride_doubles_exactly_at_capacity () =
+  let obs = Obs.create () in
+  Obs.Timeseries.define obs ~capacity:8 "edge";
+  for t = 1 to 8 do
+    record_at obs t "edge" (float_of_int (10 * t))
+  done;
+  Alcotest.(check int) "full ring, stride still 1" 1 (Obs.Timeseries.stride obs "edge");
+  Alcotest.(check int) "all 8 retained" 8 (Obs.Timeseries.retained obs "edge");
+  (* the 9th offer lands on a full ring: resolution halves in place
+     (keep every other point, oldest first) and the stride doubles *)
+  record_at obs 9 "edge" 90.;
+  Alcotest.(check int) "stride doubled" 2 (Obs.Timeseries.stride obs "edge");
+  Alcotest.(check int) "4 survivors + the new point" 5
+    (Obs.Timeseries.retained obs "edge");
+  Alcotest.(check (list (pair int (float 0.0)))) "every other point kept"
+    [ (1, 10.); (3, 30.); (5, 50.); (7, 70.); (9, 90.) ]
+    (Obs.Timeseries.points obs "edge");
+  (* the envelope never coarsens: min/max/last reflect all 9 offers even
+     though points 2/4/6/8 are gone *)
+  match Obs.Timeseries.envelope obs "edge" with
+  | None -> Alcotest.fail "envelope must exist"
+  | Some (last, prev, mn, mx) ->
+    Alcotest.(check (pair int (float 0.0))) "last exact" (9, 90.) last;
+    Alcotest.(check (pair int (float 0.0))) "prev exact (a dropped point)" (8, 80.) prev;
+    Alcotest.(check (float 0.0)) "min exact" 10. mn;
+    Alcotest.(check (float 0.0)) "max exact" 90. mx
+
 let test_exports () =
   let obs = Obs.create () in
   Obs.Timeseries.define obs ~kind:Obs.Timeseries.Counter "a.b-c";
@@ -111,6 +170,27 @@ let test_exports () =
   (* disabled context: recording is a no-op, never an error *)
   Obs.Timeseries.record Obs.null "x" 1.;
   Alcotest.(check (list string)) "null records nothing" [] (Obs.Timeseries.names Obs.null)
+
+(* Extra labels (watch --prom tags every series with the protection
+   level) render ahead of the series label on every sample line, on both
+   the series and the metrics/histogram exporters. *)
+let test_prometheus_extra_labels () =
+  let obs = Obs.create () in
+  Obs.Timeseries.define obs ~kind:Obs.Timeseries.Counter "a.b";
+  record_at obs 3 "a.b" 7.;
+  let prom = Obs.Timeseries.to_prometheus ~labels:[ ("level", "integrated") ] obs in
+  Alcotest.(check bool) "level label leads the sample" true
+    (contains ~needle:"memguard_a_b_total{level=\"integrated\",series=\"a.b\"} 7 3" prom);
+  Obs.Metrics.observe obs "h.e" 5.;
+  let prom = Obs.Metrics.to_prometheus ~labels:[ ("level", "un\"safe") ] obs in
+  Alcotest.(check bool) "histogram buckets carry the escaped label" true
+    (contains ~needle:"memguard_h_e_bucket{level=\"un\\\"safe\",series=\"h.e\",le=" prom);
+  Alcotest.(check bool) "histogram _count carries it too" true
+    (contains ~needle:"memguard_h_e_count{level=\"un\\\"safe\",series=\"h.e\"} 1" prom);
+  (* no labels: the page is exactly the unlabeled golden shape *)
+  let bare = Obs.Timeseries.to_prometheus obs in
+  Alcotest.(check bool) "unlabeled page unchanged" true
+    (contains ~needle:"memguard_a_b_total{series=\"a.b\"} 7 3" bare)
 
 (* ---- alert engine ---- *)
 
@@ -440,7 +520,13 @@ let suite =
       [ Alcotest.test_case "gauge and counter" `Quick test_gauge_and_counter;
         Alcotest.test_case "derived rate" `Quick test_derived_rate;
         Alcotest.test_case "downsampling envelope" `Quick test_downsampling_keeps_envelope;
+        Alcotest.test_case "downsampling single point" `Quick test_downsampling_single_point;
+        Alcotest.test_case "downsampling constant series" `Quick
+          test_downsampling_constant_series;
+        Alcotest.test_case "stride doubles exactly at capacity" `Quick
+          test_stride_doubles_exactly_at_capacity;
         Alcotest.test_case "prometheus and json exports" `Quick test_exports;
+        Alcotest.test_case "prometheus extra labels" `Quick test_prometheus_extra_labels;
         Alcotest.test_case "threshold edge triggering" `Quick test_threshold_edge_triggering;
         Alcotest.test_case "rate and spread rules" `Quick test_rate_and_spread_rules;
         Alcotest.test_case "sentinel constant across keys" `Quick
